@@ -1,0 +1,47 @@
+"""Micro-benchmarks of the individual miners (multi-round timings).
+
+Unlike the table/figure benchmarks (run once because a full grid is
+expensive), these micro-benchmarks time a single mining task per
+algorithm with pytest-benchmark's normal statistics, which makes them the
+right place to watch for performance regressions of the library itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AClose, Apriori, Charm, Close
+from repro.core.luxenburger import LuxenburgerBasis
+from repro.data.benchmarks_data import make_mushroom
+from repro.experiments.harness import mine_itemsets
+
+MINSUP = 0.5
+
+
+@pytest.fixture(scope="module")
+def mushroom():
+    return make_mushroom()
+
+
+@pytest.fixture(scope="module")
+def mined(mushroom):
+    return mine_itemsets(mushroom, MINSUP)
+
+
+@pytest.mark.parametrize("algorithm_class", [Apriori, Close, AClose, Charm])
+def test_miner_runtime(benchmark, mushroom, algorithm_class):
+    family = benchmark(lambda: algorithm_class(MINSUP).mine(mushroom))
+    assert len(family) > 0
+
+
+def test_luxenburger_reduced_basis_construction(benchmark, mined):
+    basis = benchmark(
+        lambda: LuxenburgerBasis(mined.closed, minconf=0.7, transitive_reduction=True)
+    )
+    assert len(basis) > 0
+
+
+def test_closure_computation(benchmark, mushroom):
+    items = mushroom.items[:3]
+    result = benchmark(lambda: mushroom.closure_and_support(items))
+    assert result[1] >= 0

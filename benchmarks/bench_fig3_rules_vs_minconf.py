@@ -1,0 +1,32 @@
+"""F3 — number of rules as the confidence threshold decreases.
+
+Paper shape being reproduced: lowering minconfidence makes the number of
+valid association rules grow quickly, while the bases grow slowly (the
+Duquenne-Guigues basis does not depend on minconfidence at all), so the
+reduction factor improves as the threshold is relaxed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_table
+
+from repro.experiments.tables import figure3_rules_vs_minconf
+
+MINCONFS = (0.95, 0.9, 0.8, 0.7, 0.6, 0.5)
+
+
+def test_figure3_rules_vs_minconf(benchmark):
+    rows = run_once(benchmark, figure3_rules_vs_minconf, None, MINCONFS)
+    save_table("F3_rules_vs_minconf", rows, "F3 — rule counts vs minconfidence")
+
+    assert len(rows) == len(MINCONFS)
+    # The DG basis size is constant across the sweep.
+    assert len({row["dg_basis"] for row in rows}) == 1
+    # All-rule counts are non-increasing in minconf (rows are ordered from
+    # the highest threshold to the lowest, so counts must be non-decreasing).
+    all_rule_counts = [row["all_rules"] for row in rows]
+    assert all_rule_counts == sorted(all_rule_counts)
+    # The bases stay far smaller than the full rule set at the loosest
+    # threshold.
+    loosest = rows[-1]
+    assert loosest["all_rules"] >= 10 * loosest["bases_total"]

@@ -1,0 +1,24 @@
+"""T1 — dataset characteristics (objects, items, width, density).
+
+Reproduces the dataset-description table that opens the evaluation section
+of the Close / A-Close / bases papers, on the stand-in datasets described
+in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once, save_table
+
+from repro.experiments.tables import table1_dataset_characteristics
+
+
+def test_table1_dataset_characteristics(benchmark):
+    rows = run_once(benchmark, table1_dataset_characteristics)
+    save_table("T1_dataset_characteristics", rows, "T1 — dataset characteristics")
+    assert len(rows) == 5
+    dense = [row for row in rows if row["kind"] == "dense"]
+    sparse = [row for row in rows if row["kind"] == "sparse"]
+    # Dense categorical stand-ins have fixed-width objects; sparse basket
+    # data is much wider in items and much lower in density.
+    assert all(row["avg_size"] == row["max_size"] for row in dense)
+    assert all(row["density"] < 0.2 for row in sparse)

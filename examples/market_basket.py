@@ -1,0 +1,85 @@
+"""Market-basket analysis on a Quest-style synthetic dataset.
+
+The paper's motivating scenario: a retailer mines association rules from
+sales transactions and is drowned in tens of thousands of mostly redundant
+rules.  This example generates a weakly correlated basket dataset with the
+from-scratch IBM Quest re-implementation, mines it at several support
+thresholds, and contrasts the classical rule output with the bases —
+including the interestingness measures practitioners actually look at.
+
+Run with:  python examples/market_basket.py
+"""
+
+from __future__ import annotations
+
+from repro import Apriori, Close, LuxenburgerBasis, build_duquenne_guigues_basis
+from repro.algorithms.rule_generation import generate_all_rules
+from repro.analysis.metrics import rule_metrics
+from repro.data.synthetic import make_quest_dataset
+from repro.experiments.report import render_text_table
+
+MINCONF = 0.5
+
+
+def main() -> None:
+    database = make_quest_dataset(
+        avg_transaction_size=8,
+        avg_pattern_size=4,
+        n_transactions=4_000,
+        n_items=250,
+        n_patterns=80,
+        seed=17,
+        name="baskets",
+    )
+    print(database)
+    print(f"average basket size: {database.avg_transaction_size:.1f} items\n")
+
+    rows = []
+    for minsup in (0.03, 0.02, 0.01):
+        frequent = Apriori(minsup).mine(database)
+        closed = Close(minsup).mine(database)
+        all_rules = generate_all_rules(frequent, minconf=MINCONF)
+        dg_basis = build_duquenne_guigues_basis(frequent, closed)
+        luxenburger = LuxenburgerBasis(closed, minconf=MINCONF)
+        rows.append(
+            {
+                "minsup": minsup,
+                "frequent": len(frequent),
+                "closed": len(closed),
+                "all_rules": len(all_rules),
+                "dg_basis": len(dg_basis),
+                "lux_reduced": len(luxenburger),
+            }
+        )
+    print(render_text_table(rows, title="basket data: rule counts vs bases"))
+    print(
+        "\nOn weakly correlated basket data the closed itemsets nearly coincide\n"
+        "with the frequent ones, so the bases bring a modest reduction — exactly\n"
+        "the behaviour the paper reports for the synthetic T-datasets.\n"
+    )
+
+    # Show the ten most interesting approximate basis rules by lift.
+    minsup = 0.01
+    frequent = Apriori(minsup).mine(database)
+    closed = Close(minsup).mine(database)
+    luxenburger = LuxenburgerBasis(closed, minconf=MINCONF)
+    supports = closed.inferred_support
+
+    def support_oracle(itemset):
+        value = supports(itemset)
+        return value if value is not None else 0.0
+
+    scored = rule_metrics(luxenburger.rules, support_oracle)
+    scored.sort(key=lambda metric: metric.lift, reverse=True)
+    print("top approximate basis rules by lift:")
+    for metric in scored[:10]:
+        rule = metric.rule
+        print(
+            f"  {rule.antecedent} -> {rule.consequent}  "
+            f"conf={rule.confidence:.2f} lift={metric.lift:.2f} "
+            f"support={rule.support:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that the legacy editable-install path (``pip install -e .
+--no-use-pep517`` or ``python setup.py develop``) keeps working in offline
+environments where the ``wheel`` package — required by PEP 660 editable
+builds with older setuptools — is not available.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""Classical generation of *all* valid association rules.
+
+This is the baseline the bases are measured against: given the family of
+frequent itemsets (from Apriori), enumerate every rule ``X → Y`` with
+``X, Y`` non-empty and disjoint, ``X ∪ Y`` frequent, and confidence at
+least ``minconf``.  The number of such rules explodes on dense data —
+that explosion, and the redundancy it carries, is precisely the problem
+statement of the ICDE 2000 paper.
+
+Two refinements are exposed because the experiment tables need them
+separately:
+
+* :func:`generate_exact_rules` — only the 100 %-confidence rules;
+* :func:`generate_approximate_rules` — only the rules with confidence in
+  ``[minconf, 1)``.
+
+Supports come from the provided :class:`~repro.core.families.ItemsetFamily`;
+no database access is needed.
+"""
+
+from __future__ import annotations
+
+from ..core.families import ItemsetFamily
+from ..core.itemset import Itemset
+from ..core.rules import AssociationRule, RuleSet
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "generate_all_rules",
+    "generate_exact_rules",
+    "generate_approximate_rules",
+]
+
+_EPSILON = 1e-12
+
+
+def _validate_minconf(minconf: float) -> None:
+    if not 0.0 <= minconf <= 1.0:
+        raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
+
+
+def generate_all_rules(
+    frequent: ItemsetFamily,
+    minconf: float,
+    *,
+    min_rule_size: int = 2,
+) -> RuleSet:
+    """Generate every valid association rule from the frequent itemsets.
+
+    Parameters
+    ----------
+    frequent:
+        Family of frequent itemsets with their supports (typically the
+        output of :class:`~repro.algorithms.apriori.Apriori`).
+    minconf:
+        Minimum confidence threshold in ``[0, 1]``.
+    min_rule_size:
+        Minimum cardinality of ``X ∪ Y``; the classical definition uses 2
+        (a rule needs at least one item on each side).
+
+    Returns
+    -------
+    RuleSet
+        All rules ``X → Y`` with non-empty, disjoint sides, ``X ∪ Y``
+        frequent and ``confidence ≥ minconf``.
+    """
+    _validate_minconf(minconf)
+    rules = RuleSet()
+    n_objects = frequent.n_objects
+    for itemset, count in frequent.items_with_supports():
+        if len(itemset) < min_rule_size:
+            continue
+        support = count / n_objects if n_objects else 0.0
+        for antecedent in itemset.nonempty_proper_subsets():
+            antecedent_count = frequent.get(antecedent)
+            if antecedent_count is None or antecedent_count == 0:
+                # Cannot happen for a downward-closed family; guard anyway.
+                continue
+            confidence = count / antecedent_count
+            if confidence >= minconf - _EPSILON:
+                rules.add(
+                    AssociationRule(
+                        antecedent,
+                        itemset.difference(antecedent),
+                        support=support,
+                        confidence=confidence,
+                        support_count=count,
+                    )
+                )
+    return rules
+
+
+def generate_exact_rules(frequent: ItemsetFamily) -> RuleSet:
+    """Generate every exact (100 %-confidence) association rule.
+
+    A rule ``X → Y`` is exact iff ``support(X ∪ Y) = support(X)``, i.e. the
+    antecedent never occurs without the consequent.
+    """
+    return generate_all_rules(frequent, minconf=1.0)
+
+
+def generate_approximate_rules(frequent: ItemsetFamily, minconf: float) -> RuleSet:
+    """Generate every approximate rule with confidence in ``[minconf, 1)``."""
+    _validate_minconf(minconf)
+    all_rules = generate_all_rules(frequent, minconf=minconf)
+    return all_rules.approximate_rules()

@@ -1,0 +1,27 @@
+"""Analysis helpers: interestingness metrics and dataset statistics."""
+
+from .metrics import (
+    RuleMetrics,
+    confidence,
+    conviction,
+    cosine,
+    jaccard,
+    leverage,
+    lift,
+    rule_metrics,
+)
+from .statistics import DatasetStatistics, dataset_statistics, itemset_count_profile
+
+__all__ = [
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "jaccard",
+    "cosine",
+    "RuleMetrics",
+    "rule_metrics",
+    "DatasetStatistics",
+    "dataset_statistics",
+    "itemset_count_profile",
+]

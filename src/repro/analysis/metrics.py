@@ -1,0 +1,142 @@
+"""Interestingness measures for association rules.
+
+The paper only uses support and confidence, but any practical library (and
+the examples shipped with this one) also reports the standard derived
+measures.  All functions take the three elementary probabilities —
+``P(X ∪ Y)``, ``P(X)``, ``P(Y)`` — either directly or through a rule plus
+a support oracle, so they work identically whether supports come from the
+database, from an :class:`~repro.core.families.ItemsetFamily`, or from the
+bases via :class:`~repro.core.derivation.BasisDerivation`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+from ..core.itemset import Itemset
+from ..core.rules import AssociationRule
+from ..errors import InvalidParameterError
+
+__all__ = [
+    "confidence",
+    "lift",
+    "leverage",
+    "conviction",
+    "jaccard",
+    "cosine",
+    "rule_metrics",
+    "RuleMetrics",
+]
+
+SupportOracle = Callable[[Itemset], float]
+
+
+def _check_probability(value: float, label: str) -> float:
+    if not -1e-12 <= value <= 1.0 + 1e-12:
+        raise InvalidParameterError(f"{label} must be a probability, got {value}")
+    return min(max(value, 0.0), 1.0)
+
+
+def confidence(support_xy: float, support_x: float) -> float:
+    """``P(X ∪ Y) / P(X)`` — the fraction of X-objects that also contain Y."""
+    support_xy = _check_probability(support_xy, "support(X∪Y)")
+    support_x = _check_probability(support_x, "support(X)")
+    if support_x == 0.0:
+        return 0.0
+    return support_xy / support_x
+
+
+def lift(support_xy: float, support_x: float, support_y: float) -> float:
+    """``confidence / P(Y)`` — how much X raises the odds of Y (1 = independence)."""
+    support_y = _check_probability(support_y, "support(Y)")
+    if support_y == 0.0:
+        return 0.0
+    return confidence(support_xy, support_x) / support_y
+
+
+def leverage(support_xy: float, support_x: float, support_y: float) -> float:
+    """``P(X ∪ Y) − P(X)·P(Y)`` — additive deviation from independence."""
+    return (
+        _check_probability(support_xy, "support(X∪Y)")
+        - _check_probability(support_x, "support(X)")
+        * _check_probability(support_y, "support(Y)")
+    )
+
+
+def conviction(support_xy: float, support_x: float, support_y: float) -> float:
+    """``P(X)·P(¬Y) / P(X ∪ ¬Y)`` — ``inf`` for exact rules, 1 at independence."""
+    conf = confidence(support_xy, support_x)
+    support_y = _check_probability(support_y, "support(Y)")
+    if conf >= 1.0:
+        return math.inf
+    return (1.0 - support_y) / (1.0 - conf)
+
+
+def jaccard(support_xy: float, support_x: float, support_y: float) -> float:
+    """``P(X ∪ Y) / (P(X) + P(Y) − P(X ∪ Y))`` — overlap of the two covers."""
+    denominator = (
+        _check_probability(support_x, "support(X)")
+        + _check_probability(support_y, "support(Y)")
+        - _check_probability(support_xy, "support(X∪Y)")
+    )
+    if denominator <= 0.0:
+        return 0.0
+    return support_xy / denominator
+
+
+def cosine(support_xy: float, support_x: float, support_y: float) -> float:
+    """``P(X ∪ Y) / sqrt(P(X)·P(Y))`` — the geometric-mean normalised support."""
+    product = _check_probability(support_x, "support(X)") * _check_probability(
+        support_y, "support(Y)"
+    )
+    if product <= 0.0:
+        return 0.0
+    return _check_probability(support_xy, "support(X∪Y)") / math.sqrt(product)
+
+
+class RuleMetrics:
+    """All interestingness measures of one rule, computed from a support oracle."""
+
+    __slots__ = (
+        "rule",
+        "support",
+        "confidence",
+        "lift",
+        "leverage",
+        "conviction",
+        "jaccard",
+        "cosine",
+    )
+
+    def __init__(self, rule: AssociationRule, support_oracle: SupportOracle) -> None:
+        support_x = support_oracle(rule.antecedent)
+        support_y = support_oracle(rule.consequent)
+        support_xy = rule.support
+        self.rule = rule
+        self.support = support_xy
+        self.confidence = confidence(support_xy, support_x)
+        self.lift = lift(support_xy, support_x, support_y)
+        self.leverage = leverage(support_xy, support_x, support_y)
+        self.conviction = conviction(support_xy, support_x, support_y)
+        self.jaccard = jaccard(support_xy, support_x, support_y)
+        self.cosine = cosine(support_xy, support_x, support_y)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the measures as a plain dictionary (used by reports)."""
+        return {
+            "support": self.support,
+            "confidence": self.confidence,
+            "lift": self.lift,
+            "leverage": self.leverage,
+            "conviction": self.conviction,
+            "jaccard": self.jaccard,
+            "cosine": self.cosine,
+        }
+
+
+def rule_metrics(
+    rules: Iterable[AssociationRule], support_oracle: SupportOracle
+) -> list[RuleMetrics]:
+    """Compute :class:`RuleMetrics` for every rule of an iterable."""
+    return [RuleMetrics(rule, support_oracle) for rule in rules]

@@ -1,0 +1,91 @@
+"""Dataset characteristic statistics (Table T1 of the reproduction).
+
+The first table of the paper-family evaluations lists, for every dataset,
+the number of objects, the number of items, the average object size and a
+density indicator.  :func:`dataset_statistics` computes those figures for
+any :class:`~repro.data.context.TransactionDatabase`, and
+:func:`itemset_count_profile` adds the frequent/closed itemset counts used
+by Table T2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.families import ClosedItemsetFamily, ItemsetFamily
+from ..data.context import TransactionDatabase
+
+__all__ = ["DatasetStatistics", "dataset_statistics", "itemset_count_profile"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of the dataset-characteristics table."""
+
+    name: str
+    n_objects: int
+    n_items: int
+    avg_object_size: float
+    max_object_size: int
+    density: float
+    #: Support (relative) of the most frequent single item — an indicator of
+    #: how correlated / dense the dataset is at the top of the lattice.
+    top_item_support: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Return the row as a plain dictionary (for the report renderers)."""
+        return {
+            "dataset": self.name,
+            "objects": self.n_objects,
+            "items": self.n_items,
+            "avg_size": round(self.avg_object_size, 2),
+            "max_size": self.max_object_size,
+            "density": round(self.density, 4),
+            "top_item_support": round(self.top_item_support, 4),
+        }
+
+
+def dataset_statistics(database: TransactionDatabase) -> DatasetStatistics:
+    """Compute the characteristics row of one dataset."""
+    counts = database.item_support_counts()
+    top = max(counts.values(), default=0)
+    return DatasetStatistics(
+        name=database.name,
+        n_objects=database.n_objects,
+        n_items=database.n_items,
+        avg_object_size=database.avg_transaction_size,
+        max_object_size=database.max_transaction_size,
+        density=database.density,
+        top_item_support=top / database.n_objects if database.n_objects else 0.0,
+    )
+
+
+def itemset_count_profile(
+    frequent: ItemsetFamily, closed: ClosedItemsetFamily
+) -> dict[str, object]:
+    """Summarise frequent vs. frequent-closed itemset counts (Table T2 row).
+
+    Besides the raw counts the profile reports the ratio (how many frequent
+    itemsets exist per closed itemset) and the per-size breakdown, which is
+    what makes the dense/sparse contrast of the paper visible.
+    """
+    frequent_by_size = {size: len(group) for size, group in frequent.by_size().items()}
+    closed_by_size = {size: len(group) for size, group in closed.by_size().items()}
+    ratio = (len(frequent) / len(closed)) if len(closed) else 0.0
+    return {
+        "minsup": frequent.minsup,
+        "frequent_itemsets": len(frequent),
+        "closed_itemsets": len(closed),
+        "ratio": round(ratio, 3),
+        "max_frequent_size": frequent.max_size(),
+        "max_closed_size": closed.max_size(),
+        "frequent_by_size": frequent_by_size,
+        "closed_by_size": closed_by_size,
+        "median_closed_support": float(
+            np.median([closed.support_count(i) for i in closed])
+        )
+        if len(closed)
+        else 0.0,
+    }

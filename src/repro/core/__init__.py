@@ -1,0 +1,44 @@
+"""Core theory: itemsets, closure operator, closed sets and the rule bases."""
+
+from .closure import GaloisConnection
+from .concept import FormalConcept, enumerate_concepts
+from .derivation import BasisDerivation
+from .dg_basis import DuquenneGuiguesBasis, build_duquenne_guigues_basis
+from .families import ClosedItemsetFamily, ItemsetFamily
+from .generators import GeneratorFamily, is_minimal_generator
+from .informative import GenericBasis, InformativeBasis
+from .itemset import Item, Itemset, powerset, proper_nonempty_subsets
+from .lattice import IcebergLattice
+from .luxenburger import LuxenburgerBasis, build_luxenburger_basis
+from .pseudo_closed import PseudoClosedItemset, frequent_pseudo_closed_itemsets
+from .redundancy import ReductionReport, implication_closure, reduction_report
+from .rules import AssociationRule, RuleSet
+
+__all__ = [
+    "Item",
+    "Itemset",
+    "powerset",
+    "proper_nonempty_subsets",
+    "GaloisConnection",
+    "FormalConcept",
+    "enumerate_concepts",
+    "ItemsetFamily",
+    "ClosedItemsetFamily",
+    "GeneratorFamily",
+    "is_minimal_generator",
+    "PseudoClosedItemset",
+    "frequent_pseudo_closed_itemsets",
+    "DuquenneGuiguesBasis",
+    "build_duquenne_guigues_basis",
+    "LuxenburgerBasis",
+    "build_luxenburger_basis",
+    "GenericBasis",
+    "InformativeBasis",
+    "BasisDerivation",
+    "IcebergLattice",
+    "AssociationRule",
+    "RuleSet",
+    "ReductionReport",
+    "reduction_report",
+    "implication_closure",
+]

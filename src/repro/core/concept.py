@@ -1,0 +1,74 @@
+"""Formal concepts of a mining context.
+
+In formal concept analysis a *formal concept* of the context
+``D = (O, I, R)`` is a pair ``(T, X)`` with ``T ⊆ O`` and ``X ⊆ I`` such
+that ``f(T) = X`` and ``g(X) = T``: the extent ``T`` is exactly the set of
+objects sharing the intent ``X``, and the intent is exactly the set of
+items common to the extent.  The intents of the formal concepts are
+precisely the closed itemsets used by the paper, and the support of a
+closed itemset is the size of its extent.
+
+This module provides a light value type, :class:`FormalConcept`, and an
+exhaustive enumerator meant for small contexts (unit tests, lattice
+drawings, pedagogy).  Large-scale mining of *frequent* closed itemsets is
+the job of :mod:`repro.algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+from ..data.context import TransactionDatabase
+from .closure import GaloisConnection
+from .itemset import Itemset
+
+__all__ = ["FormalConcept", "enumerate_concepts"]
+
+
+@dataclass(frozen=True, order=True)
+class FormalConcept:
+    """A formal concept ``(extent, intent)`` of a mining context.
+
+    Attributes
+    ----------
+    intent:
+        The closed itemset ``X`` (items shared by every object of the
+        extent).  Concepts sort by intent, which matches the canonical
+        itemset order used everywhere else.
+    extent:
+        The row indices of the objects containing the intent.
+    support_count:
+        ``len(extent)`` — stored explicitly so reports do not need to
+        re-measure it.
+    """
+
+    intent: Itemset
+    extent: frozenset[int] = field(compare=False)
+    support_count: int = field(compare=False)
+
+    def support(self, n_objects: int) -> float:
+        """Relative support of the concept given the context size."""
+        if n_objects <= 0:
+            return 0.0
+        return self.support_count / n_objects
+
+    def __str__(self) -> str:
+        return f"Concept(intent={self.intent}, support_count={self.support_count})"
+
+
+def enumerate_concepts(database: TransactionDatabase) -> Iterator[FormalConcept]:
+    """Yield every formal concept of *database*, sorted by intent.
+
+    The enumeration goes through the closed itemsets (intersection closure
+    of the transaction contents, plus the full item universe when it has an
+    empty cover) and pairs each with its extent.  Complexity is proportional
+    to the number of concepts times the cost of a cover computation, which
+    is perfectly fine for the example-sized contexts it is intended for.
+    """
+    connection = GaloisConnection(database)
+    for intent in connection.closed_itemsets():
+        extent = database.cover(intent)
+        yield FormalConcept(
+            intent=intent, extent=extent, support_count=len(extent)
+        )

@@ -1,0 +1,168 @@
+"""The Duquenne-Guigues basis for exact association rules (Theorem 1).
+
+The Duquenne-Guigues basis (Guigues & Duquenne, 1986), adapted to frequent
+itemsets by the paper, is the set of rules
+
+    ``P → h(P) \\ P``   for every frequent pseudo-closed itemset ``P``,
+
+each with confidence 1 and support equal to the support of ``h(P)``.  It
+is a *minimum-size* generating set for the exact association rules: every
+exact rule between frequent itemsets can be deduced from it (see
+:mod:`repro.core.derivation`), and no strictly smaller set of exact rules
+has that property.
+
+The basis is represented by :class:`DuquenneGuiguesBasis`, which keeps the
+underlying pseudo-closed structure around so that derivation and the
+experiment reports can use it directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .families import ClosedItemsetFamily, ItemsetFamily
+from .itemset import Itemset
+from .pseudo_closed import PseudoClosedItemset, frequent_pseudo_closed_itemsets
+from .rules import AssociationRule, RuleSet
+
+__all__ = ["DuquenneGuiguesBasis", "build_duquenne_guigues_basis"]
+
+
+class DuquenneGuiguesBasis:
+    """The Duquenne-Guigues basis of exact rules of a mined context.
+
+    Parameters
+    ----------
+    pseudo_closed:
+        The frequent pseudo-closed itemsets with their closures and
+        supports (one rule per entry).
+    n_objects:
+        Number of objects of the originating database (to express rule
+        supports relatively).
+    """
+
+    def __init__(
+        self,
+        pseudo_closed: list[PseudoClosedItemset],
+        n_objects: int,
+    ) -> None:
+        self._pseudo_closed = sorted(pseudo_closed, key=lambda p: p.itemset)
+        self._n_objects = n_objects
+        self._rules = RuleSet(self._build_rules())
+
+    def _build_rules(self) -> Iterator[AssociationRule]:
+        for entry in self._pseudo_closed:
+            consequent = entry.closure.difference(entry.itemset)
+            support = (
+                entry.support_count / self._n_objects if self._n_objects else 0.0
+            )
+            yield AssociationRule(
+                antecedent=entry.itemset,
+                consequent=consequent,
+                support=support,
+                confidence=1.0,
+                support_count=entry.support_count,
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_objects(self) -> int:
+        """Number of objects of the originating database."""
+        return self._n_objects
+
+    @property
+    def pseudo_closed_itemsets(self) -> list[PseudoClosedItemset]:
+        """The pseudo-closed itemsets, one per rule, in canonical order."""
+        return list(self._pseudo_closed)
+
+    @property
+    def rules(self) -> RuleSet:
+        """The basis as a :class:`~repro.core.rules.RuleSet` of exact rules."""
+        return self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        return f"DuquenneGuiguesBasis({len(self._rules)} rules)"
+
+    # ------------------------------------------------------------------
+    # Semantic closure under the basis (Armstrong-style inference)
+    # ------------------------------------------------------------------
+    def implied_closure(self, itemset: Itemset) -> Itemset:
+        """Return the closure of *itemset* under the basis' implications.
+
+        Starting from *itemset*, repeatedly apply every rule whose
+        antecedent is included in the current set by adding its consequent,
+        until a fixpoint is reached.  For every frequent itemset this
+        fixpoint equals the Galois closure ``h(itemset)`` — that equality
+        is exactly what makes the basis a generating set for the exact
+        rules, and it is verified by the property-based tests.
+        """
+        current = Itemset.coerce(itemset)
+        changed = True
+        while changed:
+            changed = False
+            for rule in self._rules:
+                if rule.antecedent.issubset(current) and not rule.consequent.issubset(
+                    current
+                ):
+                    current = current.union(rule.consequent)
+                    changed = True
+        return current
+
+    def derives(self, antecedent: Itemset, consequent: Itemset) -> bool:
+        """Return ``True`` if the exact rule ``antecedent → consequent`` follows.
+
+        The rule is derivable iff the consequent is included in the
+        implied closure of the antecedent.
+        """
+        return Itemset.coerce(consequent).issubset(
+            self.implied_closure(Itemset.coerce(antecedent))
+        )
+
+    def is_non_redundant(self) -> bool:
+        """Check that no rule of the basis is derivable from the others.
+
+        This is the minimality property claimed by the paper ("minimal
+        non-redundant sets of association rules"); it holds by construction
+        for pseudo-closed antecedents and is re-verified here for tests.
+        """
+        for rule in self._rules:
+            others = RuleSet(r for r in self._rules if r is not rule)
+            reduced = DuquenneGuiguesBasis.__new__(DuquenneGuiguesBasis)
+            reduced._pseudo_closed = []
+            reduced._n_objects = self._n_objects
+            reduced._rules = others
+            if reduced.derives(rule.antecedent, rule.consequent):
+                return False
+        return True
+
+
+def build_duquenne_guigues_basis(
+    frequent: ItemsetFamily,
+    closed: ClosedItemsetFamily,
+) -> DuquenneGuiguesBasis:
+    """Build the Duquenne-Guigues basis from mined itemset families.
+
+    Parameters
+    ----------
+    frequent:
+        All frequent itemsets with supports (Apriori output).
+    closed:
+        The frequent closed itemsets (Close / A-Close / CHARM output),
+        mined at the same support threshold.
+
+    Returns
+    -------
+    DuquenneGuiguesBasis
+        One exact rule ``P → h(P) \\ P`` per frequent pseudo-closed
+        itemset ``P``.
+    """
+    pseudo = frequent_pseudo_closed_itemsets(frequent, closed)
+    return DuquenneGuiguesBasis(pseudo, n_objects=frequent.n_objects)

@@ -1,0 +1,170 @@
+"""Minimal generators (key itemsets) of frequent closed itemsets.
+
+An itemset ``G`` is a *minimal generator* (also called a key itemset) when
+no proper subset of ``G`` has the same closure — equivalently, no proper
+subset has the same support.  Every frequent closed itemset ``C`` has at
+least one minimal generator, namely a smallest itemset whose closure is
+``C``; minimal generators are downward-closed (every subset of a minimal
+generator is a minimal generator), which is what makes them minable
+level-wise by Close and A-Close.
+
+Minimal generators matter for two reasons in this reproduction:
+
+* they are the level-wise handles through which Close / A-Close reach the
+  closed itemsets;
+* they are the antecedents of the *informative* (generic / min-max) rule
+  basis implemented in :mod:`repro.core.informative`, the follow-on basis
+  of the same research group, which we include as an extension.
+
+This module defines :class:`GeneratorFamily`, the mapping from each
+frequent closed itemset to its minimal generators, plus verification
+helpers used in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..data.context import TransactionDatabase
+from ..errors import InvalidParameterError
+from .families import ClosedItemsetFamily
+from .itemset import Itemset
+
+__all__ = ["GeneratorFamily", "is_minimal_generator", "minimal_generators_brute_force"]
+
+
+def is_minimal_generator(database: TransactionDatabase, itemset: Itemset) -> bool:
+    """Check the defining property of a minimal generator against *database*.
+
+    ``G`` is a minimal generator iff every immediate subset has a strictly
+    larger support (dropping any item makes the itemset strictly more
+    frequent).  The empty itemset is a minimal generator by convention.
+    """
+    itemset = Itemset.coerce(itemset)
+    if not itemset:
+        return True
+    count = database.support_count(itemset)
+    for subset in itemset.immediate_subsets():
+        if database.support_count(subset) == count:
+            return False
+    return True
+
+
+def minimal_generators_brute_force(
+    database: TransactionDatabase, closed: Itemset
+) -> list[Itemset]:
+    """Enumerate the minimal generators of one closed itemset by brute force.
+
+    Intended for tests and tiny examples only: it inspects every subset of
+    *closed*, keeps those whose closure is *closed*, and retains the
+    minimal ones with respect to set inclusion.
+    """
+    closed = Itemset.coerce(closed)
+    with_same_closure = [
+        subset
+        for size in range(len(closed) + 1)
+        for subset in closed.subsets_of_size(size)
+        if database.closure(subset) == closed
+    ]
+    minimal: list[Itemset] = []
+    for candidate in sorted(with_same_closure, key=len):
+        if not any(existing.issubset(candidate) for existing in minimal):
+            minimal.append(candidate)
+    return sorted(minimal)
+
+
+class GeneratorFamily:
+    """Mapping from frequent closed itemsets to their minimal generators.
+
+    Instances are usually built from the ``generators_by_closure`` mapping
+    produced by :class:`~repro.algorithms.close.Close` or
+    :class:`~repro.algorithms.aclose.AClose`.
+
+    Parameters
+    ----------
+    closed_family:
+        The family of frequent closed itemsets the generators refer to.
+    generators_by_closure:
+        Mapping ``closed itemset -> iterable of generator itemsets``.
+        Every key must belong to *closed_family* and every generator must
+        be a subset of its key.
+    """
+
+    def __init__(
+        self,
+        closed_family: ClosedItemsetFamily,
+        generators_by_closure: Mapping[Itemset, Iterable[Itemset]],
+    ) -> None:
+        self._closed_family = closed_family
+        self._mapping: dict[Itemset, tuple[Itemset, ...]] = {}
+        for closed, generators in generators_by_closure.items():
+            closed = Itemset.coerce(closed)
+            if closed not in closed_family:
+                raise InvalidParameterError(
+                    f"{closed} is not a member of the closed itemset family"
+                )
+            ordered = tuple(sorted(Itemset.coerce(g) for g in generators))
+            for generator in ordered:
+                if not generator.issubset(closed):
+                    raise InvalidParameterError(
+                        f"generator {generator} is not a subset of its closure {closed}"
+                    )
+            self._mapping[closed] = ordered
+
+    @property
+    def closed_family(self) -> ClosedItemsetFamily:
+        """The closed itemset family the generators are attached to."""
+        return self._closed_family
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, closed: object) -> bool:
+        if isinstance(closed, Itemset):
+            return closed in self._mapping
+        return False
+
+    def closed_itemsets(self) -> list[Itemset]:
+        """Return the closed itemsets that have at least one generator recorded."""
+        return sorted(self._mapping)
+
+    def generators_of(self, closed: Itemset | Iterable) -> tuple[Itemset, ...]:
+        """Return the minimal generators recorded for one closed itemset."""
+        return self._mapping.get(Itemset.coerce(closed), ())
+
+    def all_generators(self) -> list[Itemset]:
+        """Return every generator of the family, sorted canonically."""
+        generators: set[Itemset] = set()
+        for group in self._mapping.values():
+            generators.update(group)
+        return sorted(generators)
+
+    def proper_generators_of(self, closed: Itemset | Iterable) -> tuple[Itemset, ...]:
+        """Return the generators of *closed* that differ from *closed* itself.
+
+        These are the antecedents of the exact informative-basis rules: a
+        closed itemset that is its own unique minimal generator produces no
+        exact rule.
+        """
+        closed = Itemset.coerce(closed)
+        return tuple(g for g in self.generators_of(closed) if g != closed)
+
+    def verify_against(self, database: TransactionDatabase) -> list[str]:
+        """Return a list of human-readable violations (empty when consistent).
+
+        Checks, for every recorded pair, that the generator's closure in
+        *database* is its key and that the generator satisfies the minimal
+        generator property.  Used by integration tests and by the ablation
+        benchmark that cross-checks the miners.
+        """
+        problems: list[str] = []
+        for closed, generators in self._mapping.items():
+            for generator in generators:
+                closure = database.closure(generator)
+                if closure != closed:
+                    problems.append(
+                        f"closure of {generator} is {closure}, recorded under {closed}"
+                    )
+                if len(generator) > 0 and not is_minimal_generator(database, generator):
+                    problems.append(f"{generator} is not a minimal generator")
+        return problems

@@ -1,0 +1,307 @@
+"""Canonical immutable itemset type.
+
+An *itemset* is a finite set of items drawn from the item universe ``I`` of
+a mining context ``D = (O, I, R)``.  The whole library manipulates itemsets
+constantly — as transaction contents, as closed sets, as rule antecedents
+and consequents — so this module provides one canonical, hashable,
+immutable representation: :class:`Itemset`.
+
+Design notes
+------------
+* Items may be any hashable, orderable values (strings and integers in
+  practice).  Within one itemset all items must be mutually comparable so
+  that a deterministic canonical order exists; this keeps every report,
+  test and benchmark reproducible run after run.
+* :class:`Itemset` behaves like a ``frozenset`` for membership and algebra
+  and like a sorted tuple for display and ordering.  The total order used
+  by ``<`` on itemsets is *size first, then lexicographic on the sorted
+  item tuple*, which is the order in which level-wise algorithms (Apriori,
+  Close) naturally enumerate candidates.
+* The empty itemset is a perfectly valid value (it is the bottom of the
+  subset lattice and the antecedent of some Duquenne-Guigues rules), so no
+  method treats it specially except where theory requires it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+__all__ = ["Item", "Itemset", "powerset", "proper_nonempty_subsets"]
+
+Item = Hashable
+
+
+def _sort_key(item: Any) -> tuple[str, str]:
+    """Return a sort key that works for mixed item types.
+
+    Items are usually homogeneous (all ``str`` or all ``int``), but user
+    data occasionally mixes types; sorting on ``(type name, repr)`` keeps a
+    deterministic order in every case without raising ``TypeError``.
+    """
+    return (type(item).__name__, repr(item))
+
+
+class Itemset:
+    """An immutable, hashable, canonically ordered set of items.
+
+    Parameters
+    ----------
+    items:
+        Any iterable of hashable items.  Duplicates are collapsed.
+
+    Examples
+    --------
+    >>> a = Itemset(["b", "a", "c"])
+    >>> a
+    Itemset(['a', 'b', 'c'])
+    >>> Itemset("ab") <= a
+    True
+    >>> (a - Itemset(["a"])).as_tuple()
+    ('b', 'c')
+    """
+
+    __slots__ = ("_items", "_sorted", "_hash")
+
+    def __init__(self, items: Iterable[Item] = ()) -> None:
+        frozen = frozenset(items)
+        object.__setattr__(self, "_items", frozen)
+        try:
+            ordered = tuple(sorted(frozen))
+        except TypeError:
+            ordered = tuple(sorted(frozen, key=_sort_key))
+        object.__setattr__(self, "_sorted", ordered)
+        object.__setattr__(self, "_hash", hash(frozen))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Itemset":
+        """Return the empty itemset (bottom of the subset lattice)."""
+        return _EMPTY
+
+    @classmethod
+    def of(cls, *items: Item) -> "Itemset":
+        """Build an itemset from positional items: ``Itemset.of('a', 'b')``."""
+        return cls(items)
+
+    @classmethod
+    def coerce(cls, value: "Itemset | Iterable[Item]") -> "Itemset":
+        """Return *value* as an :class:`Itemset`, copying only if needed."""
+        if isinstance(value, Itemset):
+            return value
+        return cls(value)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._sorted)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._items
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    # ------------------------------------------------------------------
+    # Equality, hashing and the level-wise total order
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Itemset):
+            return self._items == other._items
+        if isinstance(other, (frozenset, set)):
+            return self._items == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def _order_key(self) -> tuple[int, tuple]:
+        try:
+            return (len(self._sorted), self._sorted)
+        except TypeError:  # pragma: no cover - defensive
+            return (len(self._sorted), tuple(map(_sort_key, self._sorted)))
+
+    def __lt__(self, other: "Itemset") -> bool:
+        if not isinstance(other, Itemset):
+            return NotImplemented
+        if len(self) != len(other):
+            return len(self) < len(other)
+        try:
+            return self._sorted < other._sorted
+        except TypeError:
+            return tuple(map(_sort_key, self._sorted)) < tuple(
+                map(_sort_key, other._sorted)
+            )
+
+    def __le__(self, other: "Itemset") -> bool:
+        if not isinstance(other, Itemset):
+            return NotImplemented
+        return self == other or self < other
+
+    def __gt__(self, other: "Itemset") -> bool:
+        if not isinstance(other, Itemset):
+            return NotImplemented
+        return other < self
+
+    def __ge__(self, other: "Itemset") -> bool:
+        if not isinstance(other, Itemset):
+            return NotImplemented
+        return other <= self
+
+    # ------------------------------------------------------------------
+    # Set algebra (always returns Itemset)
+    # ------------------------------------------------------------------
+    def union(self, *others: "Itemset | Iterable[Item]") -> "Itemset":
+        """Return the union of this itemset with the given itemsets."""
+        result = self._items
+        for other in others:
+            result = result | _as_frozenset(other)
+        return Itemset(result)
+
+    def intersection(self, *others: "Itemset | Iterable[Item]") -> "Itemset":
+        """Return the intersection of this itemset with the given itemsets."""
+        result = self._items
+        for other in others:
+            result = result & _as_frozenset(other)
+        return Itemset(result)
+
+    def difference(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        """Return the items of this itemset not present in *other*."""
+        return Itemset(self._items - _as_frozenset(other))
+
+    def symmetric_difference(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        """Return items present in exactly one of the two itemsets."""
+        return Itemset(self._items ^ _as_frozenset(other))
+
+    def __or__(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        return self.union(other)
+
+    def __and__(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        return self.intersection(other)
+
+    def __sub__(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        return self.difference(other)
+
+    def __xor__(self, other: "Itemset | Iterable[Item]") -> "Itemset":
+        return self.symmetric_difference(other)
+
+    def add(self, item: Item) -> "Itemset":
+        """Return a new itemset with *item* added (itemsets are immutable)."""
+        if item in self._items:
+            return self
+        return Itemset(self._items | {item})
+
+    def remove(self, item: Item) -> "Itemset":
+        """Return a new itemset with *item* removed; no-op if absent."""
+        if item not in self._items:
+            return self
+        return Itemset(self._items - {item})
+
+    # ------------------------------------------------------------------
+    # Subset relations
+    # ------------------------------------------------------------------
+    def issubset(self, other: "Itemset | Iterable[Item]") -> bool:
+        """Return ``True`` if every item of this set belongs to *other*."""
+        return self._items <= _as_frozenset(other)
+
+    def issuperset(self, other: "Itemset | Iterable[Item]") -> bool:
+        """Return ``True`` if this set contains every item of *other*."""
+        return self._items >= _as_frozenset(other)
+
+    def is_proper_subset(self, other: "Itemset | Iterable[Item]") -> bool:
+        """Return ``True`` if this set is a subset of *other* and not equal."""
+        other_items = _as_frozenset(other)
+        return self._items < other_items
+
+    def is_proper_superset(self, other: "Itemset | Iterable[Item]") -> bool:
+        """Return ``True`` if this set strictly contains *other*."""
+        other_items = _as_frozenset(other)
+        return self._items > other_items
+
+    def isdisjoint(self, other: "Itemset | Iterable[Item]") -> bool:
+        """Return ``True`` if the two itemsets share no item."""
+        return self._items.isdisjoint(_as_frozenset(other))
+
+    # ------------------------------------------------------------------
+    # Enumeration helpers used by the mining algorithms
+    # ------------------------------------------------------------------
+    def subsets_of_size(self, size: int) -> Iterator["Itemset"]:
+        """Yield every subset of the given *size* in canonical order."""
+        from itertools import combinations
+
+        if size < 0 or size > len(self._sorted):
+            return
+        for combo in combinations(self._sorted, size):
+            yield Itemset(combo)
+
+    def immediate_subsets(self) -> Iterator["Itemset"]:
+        """Yield the ``len(self)`` subsets obtained by dropping one item."""
+        for item in self._sorted:
+            yield Itemset(self._items - {item})
+
+    def proper_subsets(self) -> Iterator["Itemset"]:
+        """Yield every proper subset (including the empty set)."""
+        for size in range(len(self._sorted)):
+            yield from self.subsets_of_size(size)
+
+    def nonempty_proper_subsets(self) -> Iterator["Itemset"]:
+        """Yield every non-empty proper subset, in size order."""
+        for size in range(1, len(self._sorted)):
+            yield from self.subsets_of_size(size)
+
+    # ------------------------------------------------------------------
+    # Conversions & display
+    # ------------------------------------------------------------------
+    def as_frozenset(self) -> frozenset:
+        """Return the underlying ``frozenset`` of items."""
+        return self._items
+
+    def as_tuple(self) -> tuple:
+        """Return the items as a canonically sorted tuple."""
+        return self._sorted
+
+    def __repr__(self) -> str:
+        return f"Itemset({list(self._sorted)!r})"
+
+    def __str__(self) -> str:
+        if not self._sorted:
+            return "{}"
+        return "{" + ", ".join(str(item) for item in self._sorted) + "}"
+
+
+def _as_frozenset(value: Itemset | Iterable[Item]) -> frozenset:
+    if isinstance(value, Itemset):
+        return value.as_frozenset()
+    if isinstance(value, frozenset):
+        return value
+    return frozenset(value)
+
+
+_EMPTY = Itemset(())
+
+
+def powerset(items: Itemset | Iterable[Item]) -> Iterator[Itemset]:
+    """Yield every subset of *items* (including empty and full) in size order.
+
+    The enumeration order is deterministic: size first, lexicographic on the
+    canonical item order second — the same total order as ``Itemset.__lt__``.
+    """
+    base = Itemset.coerce(items)
+    for size in range(len(base) + 1):
+        yield from base.subsets_of_size(size)
+
+
+def proper_nonempty_subsets(items: Itemset | Iterable[Item]) -> Iterator[Itemset]:
+    """Yield every non-empty proper subset of *items* in size order.
+
+    This is the enumeration used when generating all association rules from
+    a frequent itemset ``L``: each yielded subset is a candidate antecedent.
+    """
+    base = Itemset.coerce(items)
+    yield from base.nonempty_proper_subsets()

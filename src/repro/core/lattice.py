@@ -1,0 +1,198 @@
+"""The iceberg lattice of frequent closed itemsets.
+
+The frequent closed itemsets ordered by set inclusion form a
+join-semilattice (the top part — the "iceberg" — of the full Galois/
+concept lattice of the context).  Its Hasse diagram is exactly the set of
+edges used by the transitive reduction of the Luxenburger basis, and its
+paths drive the derivation of approximate-rule confidences, so this
+module is shared by :mod:`repro.core.luxenburger` and
+:mod:`repro.core.derivation`.
+
+The lattice is materialised as a :class:`networkx.DiGraph` whose edges go
+from a closed itemset to its immediate successors (supersets with nothing
+in between); node attributes carry the support counts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import networkx as nx
+
+from .families import ClosedItemsetFamily
+from .itemset import Itemset
+
+__all__ = ["IcebergLattice"]
+
+
+class IcebergLattice:
+    """Hasse diagram of a family of frequent closed itemsets.
+
+    Parameters
+    ----------
+    closed:
+        The frequent closed itemsets with their supports.
+
+    Examples
+    --------
+    >>> from repro.core.families import ClosedItemsetFamily
+    >>> family = ClosedItemsetFamily(
+    ...     {Itemset("c"): 4, Itemset("ac"): 3, Itemset("be"): 4,
+    ...      Itemset("bce"): 3, Itemset("abce"): 2},
+    ...     n_objects=5, minsup_count=2)
+    >>> lattice = IcebergLattice(family)
+    >>> len(lattice.hasse_edges())
+    5
+    """
+
+    def __init__(self, closed: ClosedItemsetFamily) -> None:
+        self._closed = closed
+        self._graph = nx.DiGraph()
+        members = closed.itemsets()
+        for member in members:
+            self._graph.add_node(member, support_count=closed.support_count(member))
+        # Inverted index ``item -> indices of members containing it``; the
+        # proper supersets of a member are the intersection of its items'
+        # posting lists, which avoids the quadratic all-pairs subset test
+        # that dominates on families with tens of thousands of members.
+        self._members: list[Itemset] = members
+        index: dict[object, set[int]] = {}
+        for position, member in enumerate(members):
+            for item in member:
+                index.setdefault(item, set()).add(position)
+        self._item_index = index
+        self._all_positions = set(range(len(members)))
+        # Immediate-successor computation: for each pair smaller ⊂ larger,
+        # the edge is kept iff no third member lies strictly in between.
+        for smaller in members:
+            successors = sorted(self._proper_supersets(smaller), key=len)
+            immediate: list[Itemset] = []
+            for candidate in successors:
+                if not any(mid.is_proper_subset(candidate) for mid in immediate):
+                    immediate.append(candidate)
+            for successor in immediate:
+                self._graph.add_edge(smaller, successor)
+
+    def _proper_supersets(self, member: Itemset) -> list[Itemset]:
+        """Members strictly containing *member*, via the inverted item index."""
+        positions: set[int] | None = None
+        for item in member:
+            posting = self._item_index.get(item, set())
+            positions = posting.copy() if positions is None else positions & posting
+            if not positions:
+                return []
+        if positions is None:  # the empty itemset: every other member contains it
+            positions = set(self._all_positions)
+        return [
+            self._members[position]
+            for position in positions
+            if len(self._members[position]) > len(member)
+        ]
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def closed_family(self) -> ClosedItemsetFamily:
+        """The closed itemset family the lattice was built from."""
+        return self._closed
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return a copy of the underlying Hasse diagram as a DiGraph."""
+        return self._graph.copy()
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, itemset: object) -> bool:
+        return isinstance(itemset, Itemset) and itemset in self._graph
+
+    def nodes(self) -> list[Itemset]:
+        """Return the closed itemsets (lattice nodes) in canonical order."""
+        return sorted(self._graph.nodes)
+
+    def support_count(self, itemset: Itemset) -> int:
+        """Absolute support of a lattice node."""
+        return self._graph.nodes[itemset]["support_count"]
+
+    # ------------------------------------------------------------------
+    # Order structure
+    # ------------------------------------------------------------------
+    def hasse_edges(self) -> list[tuple[Itemset, Itemset]]:
+        """Return the Hasse edges as ``(smaller, larger)`` pairs, sorted."""
+        return sorted(self._graph.edges)
+
+    def comparable_pairs(self) -> Iterator[tuple[Itemset, Itemset]]:
+        """Yield every pair ``(smaller, larger)`` with ``smaller ⊂ larger``.
+
+        This is the edge set of the *full* (non-reduced) Luxenburger basis.
+        """
+        for smaller in self._members:
+            for larger in sorted(self._proper_supersets(smaller)):
+                yield (smaller, larger)
+
+    def immediate_successors(self, itemset: Itemset) -> list[Itemset]:
+        """Closed supersets of *itemset* with no closed set strictly in between."""
+        return sorted(self._graph.successors(itemset))
+
+    def immediate_predecessors(self, itemset: Itemset) -> list[Itemset]:
+        """Closed subsets of *itemset* with no closed set strictly in between."""
+        return sorted(self._graph.predecessors(itemset))
+
+    def minimal_elements(self) -> list[Itemset]:
+        """Nodes with no predecessor (usually the single closure of ∅)."""
+        return sorted(n for n in self._graph.nodes if self._graph.in_degree(n) == 0)
+
+    def maximal_elements(self) -> list[Itemset]:
+        """Nodes with no successor (the maximal frequent closed itemsets)."""
+        return sorted(n for n in self._graph.nodes if self._graph.out_degree(n) == 0)
+
+    def path_between(
+        self, smaller: Itemset, larger: Itemset
+    ) -> list[Itemset] | None:
+        """Return one Hasse path from *smaller* to *larger*, or ``None``.
+
+        A path exists iff ``smaller ⊆ larger`` and both are lattice nodes;
+        any path gives the same confidence product, so the first one found
+        by a shortest-path search is as good as any other.
+        """
+        if smaller not in self._graph or larger not in self._graph:
+            return None
+        if smaller == larger:
+            return [smaller]
+        try:
+            return nx.shortest_path(self._graph, smaller, larger)
+        except nx.NetworkXNoPath:
+            return None
+
+    def is_transitive_reduction(self) -> bool:
+        """Check that the stored edges really are the Hasse diagram.
+
+        Used by tests: the graph must equal the transitive reduction of
+        the full containment order.
+        """
+        full = nx.DiGraph()
+        full.add_nodes_from(self._graph.nodes)
+        full.add_edges_from(self.comparable_pairs())
+        reduction = nx.transitive_reduction(full)
+        return set(reduction.edges) == set(self._graph.edges)
+
+    # ------------------------------------------------------------------
+    # Shape statistics (used by reports and examples)
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        """Length (in edges) of the longest chain of the lattice."""
+        if self._graph.number_of_nodes() == 0:
+            return 0
+        return int(nx.dag_longest_path_length(self._graph))
+
+    def width_by_size(self) -> dict[int, int]:
+        """Number of closed itemsets per cardinality (a coarse width profile)."""
+        profile: dict[int, int] = {}
+        for node in self._graph.nodes:
+            profile[len(node)] = profile.get(len(node), 0) + 1
+        return dict(sorted(profile.items()))
+
+    def edge_count(self) -> int:
+        """Number of Hasse edges (the size of the reduced Luxenburger skeleton)."""
+        return self._graph.number_of_edges()

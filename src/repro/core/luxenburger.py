@@ -1,0 +1,202 @@
+"""The Luxenburger basis for approximate association rules (Theorem 2).
+
+Luxenburger (1991) studied *partial implications* between closed sets of a
+context.  Adapted to frequent itemsets, the paper's Theorem 2 states that
+the set of rules
+
+    ``C1 → C2 \\ C1``   for frequent closed itemsets ``C1 ⊂ C2``,
+
+with support ``supp(C2)`` and confidence ``supp(C2) / supp(C1)``, is a
+basis for all approximate (confidence < 1) association rules.  Moreover
+its *transitive reduction* — keeping only the pairs ``C1 ⊂ C2`` with no
+frequent closed itemset strictly in between, i.e. the Hasse edges of the
+iceberg lattice — is still a basis, because the confidence of any
+closed-set pair is the product of the edge confidences along a path.
+
+This module builds both variants and exposes the structure (which rule
+corresponds to which lattice edge) needed by the derivation engine and by
+the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .families import ClosedItemsetFamily
+from .itemset import Itemset
+from .lattice import IcebergLattice
+from .rules import AssociationRule, RuleSet
+
+__all__ = ["LuxenburgerBasis", "build_luxenburger_basis"]
+
+_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class _ClosedPair:
+    """A comparable pair of frequent closed itemsets ``smaller ⊂ larger``."""
+
+    smaller: Itemset
+    larger: Itemset
+    smaller_count: int
+    larger_count: int
+
+    @property
+    def confidence(self) -> float:
+        return self.larger_count / self.smaller_count if self.smaller_count else 0.0
+
+
+class LuxenburgerBasis:
+    """The Luxenburger basis (full or transitively reduced) of a context.
+
+    Parameters
+    ----------
+    closed:
+        The frequent closed itemset family.
+    minconf:
+        Minimum confidence threshold; only rules at or above it are kept.
+        (Rules below the threshold carry no information for the target
+        rule set: any derivable rule with confidence ``≥ minconf`` only
+        traverses edges with confidence ``≥ minconf``, since every edge
+        confidence on a path is at least the product.)
+    transitive_reduction:
+        When ``True`` (the reduced basis of Theorem 2), keep only the Hasse
+        edges of the iceberg lattice; when ``False``, keep every comparable
+        pair of closed itemsets.
+    """
+
+    def __init__(
+        self,
+        closed: ClosedItemsetFamily,
+        minconf: float,
+        transitive_reduction: bool = True,
+    ) -> None:
+        if not 0.0 <= minconf <= 1.0:
+            raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
+        self._closed = closed
+        self._minconf = minconf
+        self._reduced = transitive_reduction
+        self._lattice = IcebergLattice(closed)
+        self._pairs = list(self._enumerate_pairs())
+        self._rules = RuleSet(self._build_rules())
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _enumerate_pairs(self) -> Iterator[_ClosedPair]:
+        if self._reduced:
+            edges = self._lattice.hasse_edges()
+        else:
+            edges = self._lattice.comparable_pairs()
+        for smaller, larger in edges:
+            yield _ClosedPair(
+                smaller=smaller,
+                larger=larger,
+                smaller_count=self._closed.support_count(smaller),
+                larger_count=self._closed.support_count(larger),
+            )
+
+    def _build_rules(self) -> Iterator[AssociationRule]:
+        n_objects = self._closed.n_objects
+        for pair in self._pairs:
+            confidence = pair.confidence
+            if confidence >= 1.0 - _EPSILON:
+                # Two distinct closed itemsets always have distinct supports
+                # along a subset chain; a confidence of 1 would mean the
+                # smaller one is not closed.  Guarded for malformed input.
+                continue
+            if confidence < self._minconf - _EPSILON:
+                continue
+            support = pair.larger_count / n_objects if n_objects else 0.0
+            yield AssociationRule(
+                antecedent=pair.smaller,
+                consequent=pair.larger.difference(pair.smaller),
+                support=support,
+                confidence=confidence,
+                support_count=pair.larger_count,
+            )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def closed_family(self) -> ClosedItemsetFamily:
+        """The frequent closed itemset family the basis was built from."""
+        return self._closed
+
+    @property
+    def lattice(self) -> IcebergLattice:
+        """The iceberg lattice of the closed family (shared with derivation)."""
+        return self._lattice
+
+    @property
+    def minconf(self) -> float:
+        """Minimum confidence threshold applied to the basis rules."""
+        return self._minconf
+
+    @property
+    def is_transitive_reduction(self) -> bool:
+        """``True`` when only Hasse edges are kept (the reduced basis)."""
+        return self._reduced
+
+    @property
+    def rules(self) -> RuleSet:
+        """The basis rules as a :class:`~repro.core.rules.RuleSet`."""
+        return self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self._rules)
+
+    def __repr__(self) -> str:
+        kind = "reduced" if self._reduced else "full"
+        return (
+            f"LuxenburgerBasis({len(self._rules)} rules, {kind}, "
+            f"minconf={self._minconf})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation helpers
+    # ------------------------------------------------------------------
+    def edge_confidence(self, smaller: Itemset, larger: Itemset) -> float | None:
+        """Confidence of the basis rule between two closed itemsets, if present."""
+        rule = self._rules.get(smaller, larger.difference(smaller))
+        return None if rule is None else rule.confidence
+
+    def path_confidence(self, smaller: Itemset, larger: Itemset) -> float | None:
+        """Confidence between two comparable closed itemsets via lattice paths.
+
+        For the reduced basis the confidence of ``smaller → larger`` is the
+        product of the edge confidences along *any* path from ``smaller``
+        to ``larger`` in the Hasse diagram (all paths give the same
+        product, namely ``supp(larger) / supp(smaller)``).  Returns ``None``
+        when the two itemsets are not comparable in the lattice.
+        """
+        smaller = Itemset.coerce(smaller)
+        larger = Itemset.coerce(larger)
+        if smaller == larger:
+            return 1.0
+        path = self._lattice.path_between(smaller, larger)
+        if path is None:
+            return None
+        confidence = 1.0
+        for lower, upper in zip(path, path[1:]):
+            confidence *= self._closed.support_count(
+                upper
+            ) / self._closed.support_count(lower)
+        return confidence
+
+
+def build_luxenburger_basis(
+    closed: ClosedItemsetFamily,
+    minconf: float,
+    transitive_reduction: bool = True,
+) -> LuxenburgerBasis:
+    """Build the Luxenburger basis (reduced by default) of a closed family."""
+    return LuxenburgerBasis(
+        closed, minconf=minconf, transitive_reduction=transitive_reduction
+    )

@@ -1,0 +1,144 @@
+"""Frequent pseudo-closed itemsets (the antecedents of the Duquenne-Guigues basis).
+
+Theorem 1 of the paper defines a *frequent pseudo-closed itemset* as a
+frequent itemset ``P`` that is **not** closed and that **contains the
+closure of every frequent pseudo-closed itemset strictly included in it**.
+The Duquenne-Guigues basis for exact rules then contains exactly one rule
+``P → h(P) \\ P`` per frequent pseudo-closed itemset ``P``.
+
+The definition is recursive but well-founded (the condition only refers to
+strictly smaller pseudo-closed sets), so the computation processes the
+frequent itemsets in non-decreasing cardinality and maintains the list of
+pseudo-closed sets discovered so far:
+
+    for each frequent itemset ``I`` in size order:
+        if ``I`` is closed: skip
+        if for every already-found pseudo-closed ``P ⊂ I``: ``h(P) ⊆ I``:
+            record ``I`` as pseudo-closed
+
+The empty itemset needs explicit care: it is always frequent (support
+``|O|``) and it is pseudo-closed exactly when it is not closed, i.e. when
+some item belongs to every object.  Standard Apriori output does not list
+the empty itemset, so the function below always considers it first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidParameterError
+from .families import ClosedItemsetFamily, ItemsetFamily
+from .itemset import Itemset
+
+__all__ = ["PseudoClosedItemset", "frequent_pseudo_closed_itemsets"]
+
+
+@dataclass(frozen=True, order=True)
+class PseudoClosedItemset:
+    """A frequent pseudo-closed itemset together with its closure and support.
+
+    Attributes
+    ----------
+    itemset:
+        The pseudo-closed itemset ``P`` itself.
+    closure:
+        Its Galois closure ``h(P)`` (a frequent closed itemset, strictly
+        larger than ``P`` since ``P`` is not closed).
+    support_count:
+        Absolute support of ``P`` — which equals the support of ``h(P)``,
+        by the fundamental support-of-closure property.
+    """
+
+    itemset: Itemset
+    closure: Itemset
+    support_count: int
+
+    def __post_init__(self) -> None:
+        if not self.itemset.is_proper_subset(self.closure):
+            raise InvalidParameterError(
+                f"a pseudo-closed itemset must be strictly contained in its closure; "
+                f"got {self.itemset} with closure {self.closure}"
+            )
+
+
+def frequent_pseudo_closed_itemsets(
+    frequent: ItemsetFamily,
+    closed: ClosedItemsetFamily,
+) -> list[PseudoClosedItemset]:
+    """Compute the frequent pseudo-closed itemsets of a mined context.
+
+    Parameters
+    ----------
+    frequent:
+        Every frequent itemset with its support (Apriori output).  The
+        family must be downward closed and mined at the same threshold as
+        *closed*; the empty itemset may be omitted (it is handled
+        explicitly).
+    closed:
+        The frequent closed itemsets (Close / A-Close / CHARM output), used
+        both to test closedness and to obtain closures.
+
+    Returns
+    -------
+    list[PseudoClosedItemset]
+        The pseudo-closed itemsets in canonical (size, lexicographic)
+        order, each with its closure and support.
+
+    Notes
+    -----
+    The number of returned itemsets equals the number of rules of the
+    Duquenne-Guigues basis — the minimum possible number of exact rules,
+    by the classical result of Guigues & Duquenne (1986).
+    """
+    if frequent.n_objects != closed.n_objects:
+        raise InvalidParameterError(
+            "the frequent and closed families refer to different databases "
+            f"({frequent.n_objects} vs {closed.n_objects} objects)"
+        )
+
+    found: list[PseudoClosedItemset] = []
+    bottom = closed.bottom_closure()
+
+    def consider(candidate: Itemset, support_count: int) -> None:
+        # Closedness test first: membership in the closed family is O(1),
+        # whereas looking up the closure scans the family — only pay that
+        # cost for the (few) itemsets that turn out to be pseudo-closed.
+        if candidate in closed:
+            return  # closed, hence not pseudo-closed
+        for previous in found:
+            if previous.itemset.is_proper_subset(candidate) and not (
+                previous.closure.issubset(candidate)
+            ):
+                return
+        if not candidate:
+            # The closure of the empty itemset is the set of items common to
+            # every object; ``closure_of`` cannot be used here because the
+            # miners never list h(∅) as a family member when it is empty.
+            closure = bottom
+        else:
+            closure = closed.closure_of(candidate)
+        if closure is None:
+            # Not covered by any frequent closed itemset: the candidate is
+            # not frequent at the closed family's threshold — skip it (this
+            # only happens when the two families were mined at slightly
+            # different thresholds; the guard keeps the basis sound).
+            return
+        if closure == candidate:
+            return
+        found.append(
+            PseudoClosedItemset(
+                itemset=candidate, closure=closure, support_count=support_count
+            )
+        )
+
+    # The empty itemset first: frequent by definition, pseudo-closed iff not closed.
+    empty = Itemset.empty()
+    if bottom:
+        consider(empty, frequent.n_objects)
+
+    for candidate in frequent.itemsets():
+        if not candidate:
+            continue  # already handled explicitly
+        consider(candidate, frequent.support_count(candidate))
+
+    return sorted(found, key=lambda p: p.itemset)

@@ -1,0 +1,328 @@
+"""Association rules and rule collections.
+
+An association rule is a conditional implication ``X → Y`` between two
+disjoint itemsets, weighted by its *support* (relative frequency of
+``X ∪ Y``) and its *confidence* (``support(X ∪ Y) / support(X)``).  Rules
+with confidence exactly 1 are *exact* rules; all others are *approximate*
+rules.  The bases built by this library (Duquenne-Guigues for exact rules,
+Luxenburger for approximate rules) are particular, minimal sets of such
+rules from which every other rule can be deduced.
+
+:class:`AssociationRule` is an immutable value object.  :class:`RuleSet`
+is an order-preserving, duplicate-free collection with the filtering and
+comparison helpers used by the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from typing import Callable
+
+from ..errors import InconsistentRuleError
+from .itemset import Item, Itemset
+
+__all__ = ["AssociationRule", "RuleSet"]
+
+_EPSILON = 1e-12
+
+
+class AssociationRule:
+    """An immutable association rule ``antecedent → consequent``.
+
+    Parameters
+    ----------
+    antecedent:
+        The left-hand side ``X`` (may be empty: the Duquenne-Guigues basis
+        legitimately contains rules whose antecedent is the empty itemset
+        when the closure of the empty set is not empty).
+    consequent:
+        The right-hand side ``Y``; must be non-empty and disjoint from the
+        antecedent.
+    support:
+        Relative support of ``X ∪ Y`` in ``[0, 1]``.
+    confidence:
+        ``support(X ∪ Y) / support(X)`` in ``(0, 1]``.
+    support_count:
+        Optional absolute support of ``X ∪ Y`` (number of objects).
+
+    Examples
+    --------
+    >>> rule = AssociationRule(Itemset("a"), Itemset("bc"), support=0.4,
+    ...                        confidence=2 / 3)
+    >>> rule.is_exact
+    False
+    >>> print(rule)
+    {a} -> {b, c} (support=0.400, confidence=0.667)
+    """
+
+    __slots__ = ("_antecedent", "_consequent", "_support", "_confidence", "_count")
+
+    def __init__(
+        self,
+        antecedent: Itemset | Iterable[Item],
+        consequent: Itemset | Iterable[Item],
+        support: float,
+        confidence: float,
+        support_count: int | None = None,
+    ) -> None:
+        antecedent = Itemset.coerce(antecedent)
+        consequent = Itemset.coerce(consequent)
+        if not consequent:
+            raise InconsistentRuleError("a rule must have a non-empty consequent")
+        if not antecedent.isdisjoint(consequent):
+            raise InconsistentRuleError(
+                f"antecedent {antecedent} and consequent {consequent} overlap"
+            )
+        if not (0.0 - _EPSILON) <= support <= (1.0 + _EPSILON):
+            raise InconsistentRuleError(f"support {support} outside [0, 1]")
+        if confidence <= 0.0 or confidence > 1.0 + _EPSILON:
+            raise InconsistentRuleError(f"confidence {confidence} outside (0, 1]")
+        object.__setattr__(self, "_antecedent", antecedent)
+        object.__setattr__(self, "_consequent", consequent)
+        object.__setattr__(self, "_support", float(min(max(support, 0.0), 1.0)))
+        object.__setattr__(self, "_confidence", float(min(confidence, 1.0)))
+        object.__setattr__(self, "_count", support_count)
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+    @property
+    def antecedent(self) -> Itemset:
+        """The rule's left-hand side ``X``."""
+        return self._antecedent
+
+    @property
+    def consequent(self) -> Itemset:
+        """The rule's right-hand side ``Y``."""
+        return self._consequent
+
+    @property
+    def support(self) -> float:
+        """Relative support of ``X ∪ Y``."""
+        return self._support
+
+    @property
+    def confidence(self) -> float:
+        """Confidence ``support(X ∪ Y) / support(X)``."""
+        return self._confidence
+
+    @property
+    def support_count(self) -> int | None:
+        """Absolute support of ``X ∪ Y`` when known, else ``None``."""
+        return self._count
+
+    @property
+    def itemset(self) -> Itemset:
+        """The underlying frequent itemset ``X ∪ Y``."""
+        return self._antecedent.union(self._consequent)
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` for 100 %-confidence (exact) rules."""
+        return self._confidence >= 1.0 - _EPSILON
+
+    @property
+    def is_approximate(self) -> bool:
+        """``True`` for rules with confidence strictly below 1."""
+        return not self.is_exact
+
+    def antecedent_support(self) -> float:
+        """Relative support of the antecedent, recovered as ``supp/conf``."""
+        return self._support / self._confidence
+
+    # ------------------------------------------------------------------
+    # Identity: a rule is identified by its two sides only.  Support and
+    # confidence are functions of the sides in a fixed database, so two
+    # objects describing the same implication compare equal even if one of
+    # them was built without the absolute count.
+    # ------------------------------------------------------------------
+    def key(self) -> tuple[Itemset, Itemset]:
+        """Return the ``(antecedent, consequent)`` identity of the rule."""
+        return (self._antecedent, self._consequent)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AssociationRule):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __lt__(self, other: "AssociationRule") -> bool:
+        if not isinstance(other, AssociationRule):
+            return NotImplemented
+        return self.key() < other.key()
+
+    def same_statistics(self, other: "AssociationRule", tol: float = 1e-9) -> bool:
+        """Return ``True`` if *other* has the same sides, support and confidence."""
+        return (
+            self.key() == other.key()
+            and math.isclose(self._support, other._support, abs_tol=tol)
+            and math.isclose(self._confidence, other._confidence, abs_tol=tol)
+        )
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"AssociationRule({self._antecedent!r}, {self._consequent!r}, "
+            f"support={self._support:.6f}, confidence={self._confidence:.6f})"
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self._antecedent} -> {self._consequent} "
+            f"(support={self._support:.3f}, confidence={self._confidence:.3f})"
+        )
+
+
+class RuleSet:
+    """An order-preserving, duplicate-free collection of association rules.
+
+    Duplicates (same antecedent and consequent) are silently collapsed; the
+    first occurrence wins.  Iteration order is insertion order, which keeps
+    reports stable, while :meth:`sorted_rules` gives the canonical order
+    used in the documentation and the tests.
+    """
+
+    def __init__(self, rules: Iterable[AssociationRule] = ()) -> None:
+        self._rules: dict[tuple[Itemset, Itemset], AssociationRule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, rule: AssociationRule) -> bool:
+        """Add a rule; return ``True`` if it was not already present."""
+        key = rule.key()
+        if key in self._rules:
+            return False
+        self._rules[key] = rule
+        return True
+
+    def update(self, rules: Iterable[AssociationRule]) -> int:
+        """Add several rules; return how many were new."""
+        return sum(1 for rule in rules if self.add(rule))
+
+    def discard(self, rule: AssociationRule) -> bool:
+        """Remove a rule if present; return whether it was present."""
+        return self._rules.pop(rule.key(), None) is not None
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[AssociationRule]:
+        return iter(self._rules.values())
+
+    def __contains__(self, rule: object) -> bool:
+        if isinstance(rule, AssociationRule):
+            return rule.key() in self._rules
+        if isinstance(rule, tuple) and len(rule) == 2:
+            return (Itemset.coerce(rule[0]), Itemset.coerce(rule[1])) in self._rules
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self._rules)
+
+    def __repr__(self) -> str:
+        return f"RuleSet({len(self._rules)} rules)"
+
+    def get(
+        self,
+        antecedent: Itemset | Iterable[Item],
+        consequent: Itemset | Iterable[Item],
+    ) -> AssociationRule | None:
+        """Return the stored rule with the given sides, or ``None``."""
+        key = (Itemset.coerce(antecedent), Itemset.coerce(consequent))
+        return self._rules.get(key)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def sorted_rules(self) -> list[AssociationRule]:
+        """Return the rules sorted by ``(antecedent, consequent)``."""
+        return sorted(self._rules.values())
+
+    def keys(self) -> set[tuple[Itemset, Itemset]]:
+        """Return the set of ``(antecedent, consequent)`` identities."""
+        return set(self._rules.keys())
+
+    def exact_rules(self) -> "RuleSet":
+        """Return the sub-collection of 100 %-confidence rules."""
+        return self.filter(lambda r: r.is_exact)
+
+    def approximate_rules(self) -> "RuleSet":
+        """Return the sub-collection of rules with confidence < 1."""
+        return self.filter(lambda r: r.is_approximate)
+
+    def filter(self, predicate: Callable[[AssociationRule], bool]) -> "RuleSet":
+        """Return a new :class:`RuleSet` with the rules matching *predicate*."""
+        return RuleSet(rule for rule in self if predicate(rule))
+
+    def with_min_confidence(self, minconf: float) -> "RuleSet":
+        """Return the rules whose confidence is at least *minconf*."""
+        return self.filter(lambda r: r.confidence >= minconf - _EPSILON)
+
+    def with_min_support(self, minsup: float) -> "RuleSet":
+        """Return the rules whose support is at least *minsup*."""
+        return self.filter(lambda r: r.support >= minsup - _EPSILON)
+
+    # ------------------------------------------------------------------
+    # Set comparison (by rule identity)
+    # ------------------------------------------------------------------
+    def union(self, other: "RuleSet") -> "RuleSet":
+        """Return the union of the two rule sets (self's duplicates win)."""
+        merged = RuleSet(self)
+        merged.update(other)
+        return merged
+
+    def difference(self, other: "RuleSet") -> "RuleSet":
+        """Return the rules of *self* not present in *other*."""
+        return self.filter(lambda r: r not in other)
+
+    def intersection(self, other: "RuleSet") -> "RuleSet":
+        """Return the rules present in both rule sets."""
+        return self.filter(lambda r: r in other)
+
+    def same_rules(self, other: "RuleSet") -> bool:
+        """Return ``True`` if both sets contain exactly the same implications."""
+        return self.keys() == other.keys()
+
+    def same_rules_and_statistics(self, other: "RuleSet", tol: float = 1e-9) -> bool:
+        """Return ``True`` if both sets match, including support/confidence."""
+        if not self.same_rules(other):
+            return False
+        for rule in self:
+            twin = other.get(rule.antecedent, rule.consequent)
+            if twin is None or not rule.same_statistics(twin, tol=tol):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Summary statistics used by the experiment reports
+    # ------------------------------------------------------------------
+    def count_exact(self) -> int:
+        """Number of exact rules in the collection."""
+        return sum(1 for rule in self if rule.is_exact)
+
+    def count_approximate(self) -> int:
+        """Number of approximate rules in the collection."""
+        return sum(1 for rule in self if rule.is_approximate)
+
+    def average_confidence(self) -> float:
+        """Mean confidence over the collection (0 for an empty collection)."""
+        if not self._rules:
+            return 0.0
+        return sum(rule.confidence for rule in self) / len(self._rules)
+
+    def average_support(self) -> float:
+        """Mean support over the collection (0 for an empty collection)."""
+        if not self._rules:
+            return 0.0
+        return sum(rule.support for rule in self) / len(self._rules)

@@ -1,0 +1,40 @@
+"""Data substrate: mining contexts, dataset I/O and synthetic generators."""
+
+from .benchmarks_data import (
+    dense_benchmark_suite,
+    make_c20d10k,
+    make_c73d10k,
+    make_categorical_dataset,
+    make_census,
+    make_mushroom,
+)
+from .context import TransactionDatabase
+from .io import (
+    load_basket_file,
+    load_tabular_file,
+    parse_basket_lines,
+    save_basket_file,
+    save_tabular_file,
+)
+from .sampling import bootstrap_objects, sample_objects, split_objects
+from .synthetic import QuestGenerator, make_quest_dataset
+
+__all__ = [
+    "TransactionDatabase",
+    "load_basket_file",
+    "save_basket_file",
+    "load_tabular_file",
+    "save_tabular_file",
+    "parse_basket_lines",
+    "QuestGenerator",
+    "make_quest_dataset",
+    "make_categorical_dataset",
+    "make_mushroom",
+    "make_census",
+    "make_c20d10k",
+    "make_c73d10k",
+    "dense_benchmark_suite",
+    "sample_objects",
+    "split_objects",
+    "bootstrap_objects",
+]

@@ -1,0 +1,445 @@
+"""The data mining context: a binary relation between objects and items.
+
+The paper defines the mining context as a triplet ``D = (O, I, R)`` where
+``O`` is a finite set of objects (transactions), ``I`` a finite set of
+items, and ``R ⊆ O × I`` a binary relation.  :class:`TransactionDatabase`
+is the concrete realisation of that triplet used throughout this library.
+
+Two derived operators of the Galois connection live naturally here because
+they need fast access to the relation:
+
+* ``g(X)`` — the *cover* (extent) of an itemset ``X``: the set of objects
+  related to every item of ``X``;
+* ``f(T)`` — the *common items* (intent) of a set of objects ``T``: the
+  items related to every object of ``T``.
+
+The closure operator ``h = f ∘ g`` of the paper is exposed as
+:meth:`TransactionDatabase.closure`.
+
+Implementation
+--------------
+The relation is stored as a dense boolean numpy matrix (objects × items)
+plus one integer-bitset column per item.  The matrix gives vectorised
+cover/closure computations; the per-item bitsets (arbitrary-precision
+Python integers, one bit per object) give extremely fast tidset
+intersections for the vertical algorithms (CHARM) and for support
+counting of small itemsets.  Both views are built once at construction
+time and are immutable afterwards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..core.itemset import Item, Itemset
+from ..errors import EmptyDatabaseError, InvalidItemsetError, InvalidParameterError
+
+__all__ = ["TransactionDatabase"]
+
+
+def _popcount(bits: int) -> int:
+    """Number of set bits of an arbitrary-precision integer bitset."""
+    return bits.bit_count()
+
+
+class TransactionDatabase:
+    """A finite mining context ``D = (O, I, R)``.
+
+    Parameters
+    ----------
+    transactions:
+        Iterable of transactions; each transaction is an iterable of items.
+        Duplicated items inside one transaction are collapsed.  Empty
+        transactions are kept (they contribute to ``|O|`` but to no item
+        support), matching the formal definition of the context.
+    item_order:
+        Optional explicit ordering of the item universe.  Items that appear
+        in transactions but not in ``item_order`` are appended after it in
+        canonical sorted order.  Items listed here but absent from every
+        transaction are retained with support zero.
+    object_ids:
+        Optional identifiers for the objects.  Defaults to ``0..n-1``.
+    name:
+        Optional human-readable dataset name used by reports.
+
+    Examples
+    --------
+    >>> db = TransactionDatabase([["a", "c", "d"], ["b", "c", "e"],
+    ...                           ["a", "b", "c", "e"], ["b", "e"],
+    ...                           ["a", "b", "c", "e"]], name="example")
+    >>> db.n_objects, db.n_items
+    (5, 5)
+    >>> db.support_count(Itemset("bc"))
+    3
+    >>> str(db.closure(Itemset("a")))
+    '{a, c}'
+    """
+
+    def __init__(
+        self,
+        transactions: Iterable[Iterable[Item]],
+        item_order: Sequence[Item] | None = None,
+        object_ids: Sequence[Any] | None = None,
+        name: str | None = None,
+    ) -> None:
+        rows: list[frozenset] = [frozenset(t) for t in transactions]
+        self._name = name or "unnamed"
+
+        seen: set = set()
+        for row in rows:
+            seen.update(row)
+
+        items: list = []
+        if item_order is not None:
+            for item in item_order:
+                if item not in items:
+                    items.append(item)
+        remaining = seen.difference(items)
+        try:
+            items.extend(sorted(remaining))
+        except TypeError:
+            items.extend(sorted(remaining, key=repr))
+
+        self._items: tuple = tuple(items)
+        self._item_index: dict = {item: i for i, item in enumerate(self._items)}
+
+        if object_ids is not None:
+            object_ids = list(object_ids)
+            if len(object_ids) != len(rows):
+                raise InvalidParameterError(
+                    f"got {len(object_ids)} object ids for {len(rows)} transactions"
+                )
+            self._object_ids: tuple = tuple(object_ids)
+        else:
+            self._object_ids = tuple(range(len(rows)))
+
+        n_rows, n_cols = len(rows), len(self._items)
+        matrix = np.zeros((n_rows, n_cols), dtype=bool)
+        for r, row in enumerate(rows):
+            for item in row:
+                matrix[r, self._item_index[item]] = True
+        matrix.setflags(write=False)
+        self._matrix = matrix
+
+        # Per-item bitsets: bit t of _item_bits[i] is set iff object t has item i.
+        item_bits: list[int] = []
+        for c in range(n_cols):
+            bits = 0
+            for r in np.flatnonzero(matrix[:, c]):
+                bits |= 1 << int(r)
+            item_bits.append(bits)
+        self._item_bits: tuple[int, ...] = tuple(item_bits)
+        self._all_objects_bits: int = (1 << n_rows) - 1 if n_rows else 0
+
+        self._row_itemsets: tuple[Itemset, ...] = tuple(Itemset(row) for row in rows)
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[Any, Item]],
+        name: str | None = None,
+    ) -> "TransactionDatabase":
+        """Build a database from explicit ``(object, item)`` relation pairs.
+
+        This mirrors the formal definition of ``R ⊆ O × I`` most closely
+        and is convenient when loading relational exports.
+        """
+        grouped: dict[Any, set] = {}
+        order: list[Any] = []
+        for obj, item in pairs:
+            if obj not in grouped:
+                grouped[obj] = set()
+                order.append(obj)
+            grouped[obj].add(item)
+        return cls(
+            (grouped[obj] for obj in order),
+            object_ids=order,
+            name=name,
+        )
+
+    @classmethod
+    def from_binary_matrix(
+        cls,
+        matrix: np.ndarray,
+        items: Sequence[Item] | None = None,
+        name: str | None = None,
+    ) -> "TransactionDatabase":
+        """Build a database from a dense 0/1 matrix (objects × items)."""
+        matrix = np.asarray(matrix, dtype=bool)
+        if matrix.ndim != 2:
+            raise InvalidParameterError("binary matrix must be two-dimensional")
+        if items is None:
+            items = [f"i{c}" for c in range(matrix.shape[1])]
+        if len(items) != matrix.shape[1]:
+            raise InvalidParameterError(
+                f"got {len(items)} item labels for {matrix.shape[1]} columns"
+            )
+        transactions = [
+            [items[c] for c in np.flatnonzero(matrix[r])] for r in range(matrix.shape[0])
+        ]
+        return cls(transactions, item_order=items, name=name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable dataset name (used in reports and benchmarks)."""
+        return self._name
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects (transactions) ``|O|``."""
+        return len(self._row_itemsets)
+
+    @property
+    def n_items(self) -> int:
+        """Number of items ``|I|`` in the universe."""
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """The item universe in canonical column order."""
+        return self._items
+
+    @property
+    def object_ids(self) -> tuple:
+        """Identifiers of the objects, aligned with row indices."""
+        return self._object_ids
+
+    @property
+    def item_universe(self) -> Itemset:
+        """The full item universe as an :class:`Itemset`."""
+        return Itemset(self._items)
+
+    def __len__(self) -> int:
+        return self.n_objects
+
+    def __iter__(self) -> Iterator[Itemset]:
+        return iter(self._row_itemsets)
+
+    def __repr__(self) -> str:
+        return (
+            f"TransactionDatabase(name={self._name!r}, objects={self.n_objects}, "
+            f"items={self.n_items})"
+        )
+
+    def transaction(self, index: int) -> Itemset:
+        """Return the itemset of the object at row *index*."""
+        return self._row_itemsets[index]
+
+    def transactions(self) -> tuple[Itemset, ...]:
+        """Return all transactions as a tuple of itemsets."""
+        return self._row_itemsets
+
+    def relation_pairs(self) -> Iterator[tuple[Any, Item]]:
+        """Yield the relation ``R`` as explicit ``(object id, item)`` pairs."""
+        for row, oid in zip(self._row_itemsets, self._object_ids):
+            for item in row:
+                yield (oid, item)
+
+    # ------------------------------------------------------------------
+    # Dataset statistics
+    # ------------------------------------------------------------------
+    @property
+    def density(self) -> float:
+        """Fraction of cells of the object × item matrix that are related."""
+        if self.n_objects == 0 or self.n_items == 0:
+            return 0.0
+        return float(self._matrix.sum()) / (self.n_objects * self.n_items)
+
+    @property
+    def avg_transaction_size(self) -> float:
+        """Mean number of items per object."""
+        if self.n_objects == 0:
+            return 0.0
+        return float(self._matrix.sum()) / self.n_objects
+
+    @property
+    def max_transaction_size(self) -> int:
+        """Largest number of items held by a single object."""
+        if self.n_objects == 0:
+            return 0
+        return int(self._matrix.sum(axis=1).max())
+
+    def item_support_counts(self) -> dict:
+        """Return a mapping ``item -> absolute support`` for every item."""
+        counts = self._matrix.sum(axis=0)
+        return {item: int(counts[i]) for i, item in enumerate(self._items)}
+
+    # ------------------------------------------------------------------
+    # Galois connection primitives
+    # ------------------------------------------------------------------
+    def _columns(self, items: Itemset | Iterable[Item]) -> list[int]:
+        itemset = Itemset.coerce(items)
+        cols = []
+        for item in itemset:
+            index = self._item_index.get(item)
+            if index is None:
+                raise InvalidItemsetError(
+                    f"item {item!r} does not belong to the context {self._name!r}"
+                )
+            cols.append(index)
+        return cols
+
+    def cover_bits(self, items: Itemset | Iterable[Item]) -> int:
+        """Return the cover of *items* as an integer bitset over objects.
+
+        Bit ``t`` is set iff object ``t`` contains every item of *items*.
+        The cover of the empty itemset is the whole object set.
+        """
+        cols = self._columns(items)
+        bits = self._all_objects_bits
+        for c in cols:
+            bits &= self._item_bits[c]
+            if not bits:
+                break
+        return bits
+
+    def cover_mask(self, items: Itemset | Iterable[Item]) -> np.ndarray:
+        """Return the cover of *items* as a boolean mask over object rows.
+
+        Vectorised twin of :meth:`cover_bits`; the dense miners (Close,
+        A-Close) use it because computing a closure needs the whole mask
+        anyway.
+        """
+        cols = self._columns(items)
+        if not cols:
+            return np.ones(self.n_objects, dtype=bool)
+        if len(cols) == 1:
+            return self._matrix[:, cols[0]].copy()
+        return self._matrix[:, cols].all(axis=1)
+
+    def cover(self, items: Itemset | Iterable[Item]) -> frozenset[int]:
+        """Return ``g(items)``: the row indices of objects containing *items*."""
+        mask = self.cover_mask(items)
+        return frozenset(int(i) for i in np.flatnonzero(mask))
+
+    def common_items(self, objects: Iterable[int]) -> Itemset:
+        """Return ``f(objects)``: the items shared by every listed object.
+
+        By convention ``f(∅)`` is the full item universe (the top of the
+        Galois connection), as in formal concept analysis.
+        """
+        rows = list(objects)
+        if not rows:
+            return self.item_universe
+        mask = self._matrix[rows].all(axis=0)
+        return Itemset(self._items[i] for i in np.flatnonzero(mask))
+
+    def closure(self, items: Itemset | Iterable[Item]) -> Itemset:
+        """Return ``h(items) = f(g(items))`` — the Galois closure of *items*.
+
+        For an itemset contained in at least one object this is the maximal
+        itemset shared by all objects containing it (the intersection of
+        those objects).  For an itemset contained in no object the closure
+        is the full item universe, the standard FCA convention.
+        """
+        return self.closure_and_support(items)[0]
+
+    def closure_and_support(
+        self, items: Itemset | Iterable[Item]
+    ) -> tuple[Itemset, int]:
+        """Return ``(h(items), support_count(items))`` with a single cover pass."""
+        cover = self.cover_mask(items)
+        count = int(cover.sum())
+        if count == 0:
+            return self.item_universe, 0
+        common = self._matrix[cover].all(axis=0)
+        return Itemset(self._items[i] for i in np.flatnonzero(common)), count
+
+    def is_closed(self, items: Itemset | Iterable[Item]) -> bool:
+        """Return ``True`` iff *items* equals its own closure."""
+        itemset = Itemset.coerce(items)
+        return self.closure(itemset) == itemset
+
+    # ------------------------------------------------------------------
+    # Support
+    # ------------------------------------------------------------------
+    def support_count(self, items: Itemset | Iterable[Item]) -> int:
+        """Return the absolute support (number of covering objects)."""
+        return _popcount(self.cover_bits(items))
+
+    def support(self, items: Itemset | Iterable[Item]) -> float:
+        """Return the relative support ``support_count / |O|``."""
+        if self.n_objects == 0:
+            raise EmptyDatabaseError("support is undefined on an empty database")
+        return self.support_count(items) / self.n_objects
+
+    def minsup_count(self, minsup: float) -> int:
+        """Translate a relative *minsup* threshold into an absolute count.
+
+        The returned count is the smallest integer ``c`` such that
+        ``c / |O| >= minsup``; an itemset is frequent iff its absolute
+        support is ``>= c``.  A relative threshold of ``0`` maps to count
+        ``1`` so that "frequent" always means "occurs at least once".
+        """
+        if not 0.0 <= minsup <= 1.0:
+            raise InvalidParameterError(f"minsup must lie in [0, 1], got {minsup}")
+        if self.n_objects == 0:
+            raise EmptyDatabaseError("minsup is undefined on an empty database")
+        count = int(np.ceil(minsup * self.n_objects))
+        return max(count, 1)
+
+    # ------------------------------------------------------------------
+    # Vertical view & item pruning
+    # ------------------------------------------------------------------
+    def vertical(self) -> dict:
+        """Return the vertical representation: ``item -> frozenset of tids``."""
+        return {
+            item: frozenset(_iter_bits(self._item_bits[i]))
+            for i, item in enumerate(self._items)
+        }
+
+    def vertical_bits(self) -> dict:
+        """Return the vertical representation as ``item -> integer bitset``."""
+        return {item: self._item_bits[i] for i, item in enumerate(self._items)}
+
+    def to_binary_matrix(self) -> np.ndarray:
+        """Return a copy of the dense boolean object × item matrix."""
+        return self._matrix.copy()
+
+    def restrict_to_items(self, items: Itemset | Iterable[Item]) -> "TransactionDatabase":
+        """Return a new database keeping only the given items.
+
+        Objects are all kept (possibly becoming empty transactions) so that
+        relative supports stay comparable with the original database.
+        """
+        keep = Itemset.coerce(items)
+        unknown = keep.difference(self._items)
+        if unknown:
+            raise InvalidItemsetError(f"unknown items: {sorted(map(repr, unknown))}")
+        keep_set = keep.as_frozenset()
+        order = [item for item in self._items if item in keep_set]
+        return TransactionDatabase(
+            (row.intersection(keep_set).as_frozenset() for row in self._row_itemsets),
+            item_order=order,
+            object_ids=self._object_ids,
+            name=self._name,
+        )
+
+    def restrict_to_frequent_items(self, minsup: float) -> "TransactionDatabase":
+        """Return a new database keeping only items frequent at *minsup*.
+
+        Pruning infrequent items never changes the frequent (closed)
+        itemsets above the same threshold and is the standard first step of
+        every level-wise miner.
+        """
+        threshold = self.minsup_count(minsup)
+        counts = self.item_support_counts()
+        frequent = [item for item in self._items if counts[item] >= threshold]
+        return self.restrict_to_items(frequent)
+
+
+def _iter_bits(bits: int) -> Iterator[int]:
+    """Yield the indices of set bits of an integer bitset, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low

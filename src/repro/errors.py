@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  More specific
+subclasses are raised where the distinction is actionable (bad input data
+versus bad mining parameters versus internal invariant violations).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A mining parameter (support, confidence, ...) is out of range."""
+
+
+class InvalidItemsetError(ReproError, ValueError):
+    """An itemset refers to items that do not exist in the mining context."""
+
+
+class EmptyDatabaseError(ReproError, ValueError):
+    """An operation requires a non-empty transaction database."""
+
+
+class DatasetFormatError(ReproError, ValueError):
+    """A dataset file or in-memory payload does not match the expected format."""
+
+
+class InconsistentRuleError(ReproError, ValueError):
+    """An association rule violates a structural constraint.
+
+    Raised for instance when the antecedent and consequent overlap, when a
+    consequent is empty, or when a confidence/support value falls outside
+    ``[0, 1]``.
+    """
+
+
+class DerivationError(ReproError, RuntimeError):
+    """Rule derivation from a basis failed to reconstruct a required fact.
+
+    This signals a violated invariant (the bases are supposed to be
+    *generating sets*), so it is a bug either in the basis construction or
+    in the derivation procedure rather than a user error.
+    """
+
+
+class NotMinedError(ReproError, RuntimeError):
+    """A result was requested from an algorithm that has not been run yet."""

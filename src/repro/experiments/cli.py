@@ -1,0 +1,165 @@
+"""Command-line interface: ``repro-mine``.
+
+The CLI gives quick terminal access to the three things users do most:
+
+* ``repro-mine stats`` — dataset characteristics of the benchmark suite;
+* ``repro-mine mine --dataset <file> --minsup 0.3`` — mine a basket file
+  and print the frequent closed itemsets;
+* ``repro-mine bases --dataset <file> --minsup 0.3 --minconf 0.7`` — mine
+  a basket file and print the Duquenne-Guigues and Luxenburger bases with
+  the reduction report;
+* ``repro-mine experiment T3`` — regenerate one of the paper tables
+  (T1–T5, F1–F3, A1–A2) on the benchmark-scale datasets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from ..algorithms.close import Close
+from ..data.io import load_basket_file
+from . import tables
+from .config import all_specs, smoke_specs
+from .harness import build_rule_artifacts, mine_itemsets
+from .report import render_text_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "T1": tables.table1_dataset_characteristics,
+    "T2": tables.table2_itemset_counts,
+    "T3": tables.table3_exact_rules,
+    "T4": tables.table4_approximate_rules,
+    "T5": tables.table5_total_reduction,
+    "F1": tables.figure1_dense_runtimes,
+    "F2": tables.figure2_sparse_runtimes,
+    "F3": tables.figure3_rules_vs_minconf,
+    "A1": tables.ablation_transitive_reduction,
+    "A2": tables.ablation_closed_miners,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-mine`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description="Mining bases for association rules using closed sets "
+        "(ICDE 2000 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    stats = subparsers.add_parser(
+        "stats", help="print the characteristics of the benchmark datasets"
+    )
+    stats.add_argument(
+        "--smoke", action="store_true", help="use the tiny smoke-test datasets"
+    )
+
+    mine = subparsers.add_parser(
+        "mine", help="mine the frequent closed itemsets of a basket file"
+    )
+    mine.add_argument("--dataset", required=True, help="path to a basket-format file")
+    mine.add_argument("--minsup", type=float, default=0.1, help="relative minsup")
+    mine.add_argument(
+        "--limit", type=int, default=50, help="print at most this many itemsets"
+    )
+
+    bases = subparsers.add_parser(
+        "bases", help="mine a basket file and print the rule bases"
+    )
+    bases.add_argument("--dataset", required=True, help="path to a basket-format file")
+    bases.add_argument("--minsup", type=float, default=0.1, help="relative minsup")
+    bases.add_argument("--minconf", type=float, default=0.7, help="relative minconf")
+    bases.add_argument(
+        "--limit", type=int, default=30, help="print at most this many rules per basis"
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper tables / figures"
+    )
+    experiment.add_argument(
+        "id", choices=sorted(_EXPERIMENTS), help="experiment identifier (see DESIGN.md)"
+    )
+    experiment.add_argument(
+        "--smoke", action="store_true", help="use the tiny smoke-test datasets"
+    )
+    return parser
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    specs = smoke_specs() if args.smoke else all_specs()
+    rows = tables.table1_dataset_characteristics(specs)
+    print(render_text_table(rows, title="T1 — dataset characteristics"))
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.dataset)
+    run = Close(args.minsup).run(database)
+    print(
+        f"{database.name}: {database.n_objects} objects, {database.n_items} items; "
+        f"{len(run.family)} frequent closed itemsets at minsup={args.minsup}"
+    )
+    for itemset, count in list(run.family.items_with_supports())[: args.limit]:
+        print(f"  {itemset}  (support={count / database.n_objects:.3f})")
+    remaining = len(run.family) - args.limit
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    return 0
+
+
+def _command_bases(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.dataset)
+    mining = mine_itemsets(database, args.minsup)
+    artifacts = build_rule_artifacts(mining, minconf=args.minconf)
+    report = artifacts.report
+
+    print(f"Dataset {database.name}: minsup={args.minsup}, minconf={args.minconf}")
+    print(
+        f"  frequent itemsets: {len(mining.frequent)}, "
+        f"frequent closed itemsets: {len(mining.closed)}"
+    )
+    print(
+        f"  all rules: {report.all_rules} "
+        f"(exact {report.all_exact_rules}, approximate {report.all_approximate_rules})"
+    )
+    print(
+        f"  bases: Duquenne-Guigues {report.dg_basis_size}, "
+        f"Luxenburger reduced {report.luxenburger_reduced_size} "
+        f"(total reduction x{report.total_reduction_factor:.1f})"
+    )
+
+    print("\nDuquenne-Guigues basis (exact rules):")
+    for rule in list(artifacts.dg_basis.rules.sorted_rules())[: args.limit]:
+        print(f"  {rule}")
+    print("\nLuxenburger reduced basis (approximate rules):")
+    for rule in list(artifacts.luxenburger_reduced.rules.sorted_rules())[: args.limit]:
+        print(f"  {rule}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    function = _EXPERIMENTS[args.id]
+    specs = smoke_specs() if args.smoke else None
+    rows = function(specs) if specs is not None else function()
+    print(render_text_table(rows, title=f"{args.id} — {function.__doc__.splitlines()[0]}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-mine`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "stats": _command_stats,
+        "mine": _command_mine,
+        "bases": _command_bases,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Experiment harness: one place that wires miners, bases and reports together.
+
+The benchmark modules under ``benchmarks/`` and the command-line interface
+both go through this harness so that "what exactly was run" has a single
+definition.  Three building blocks cover every table and figure:
+
+* :func:`mine_itemsets` — run Apriori and Close on one dataset at one
+  threshold, returning both families and the timing/counting statistics;
+* :func:`build_rule_artifacts` — from the mined families, build every rule
+  artefact of the paper (all exact rules, all approximate rules, the
+  Duquenne-Guigues basis, the full and reduced Luxenburger bases) plus the
+  reduction report comparing their sizes;
+* :func:`time_algorithms` — run a list of miners over a support sweep and
+  record wall-clock times (the execution-time figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.aclose import AClose
+from ..algorithms.apriori import Apriori
+from ..algorithms.base import MiningAlgorithm, MiningRun
+from ..algorithms.charm import Charm
+from ..algorithms.close import Close
+from ..algorithms.rule_generation import generate_all_rules
+from ..core.dg_basis import DuquenneGuiguesBasis, build_duquenne_guigues_basis
+from ..core.families import ClosedItemsetFamily, ItemsetFamily
+from ..core.luxenburger import LuxenburgerBasis
+from ..core.redundancy import ReductionReport, reduction_report
+from ..core.rules import RuleSet
+from ..data.context import TransactionDatabase
+
+__all__ = [
+    "ItemsetMiningResult",
+    "RuleArtifacts",
+    "mine_itemsets",
+    "build_rule_artifacts",
+    "time_algorithms",
+    "default_algorithms",
+]
+
+
+@dataclass
+class ItemsetMiningResult:
+    """Frequent and frequent-closed itemsets mined from one dataset/threshold."""
+
+    database: TransactionDatabase
+    minsup: float
+    apriori_run: MiningRun
+    close_run: MiningRun
+
+    @property
+    def frequent(self) -> ItemsetFamily:
+        """All frequent itemsets (Apriori output)."""
+        return self.apriori_run.family
+
+    @property
+    def closed(self) -> ClosedItemsetFamily:
+        """The frequent closed itemsets (Close output)."""
+        return self.close_run.family  # type: ignore[return-value]
+
+
+@dataclass
+class RuleArtifacts:
+    """Every rule artefact the paper compares, for one (minsup, minconf) cell."""
+
+    database_name: str
+    minsup: float
+    minconf: float
+    all_rules: RuleSet
+    all_exact: RuleSet
+    all_approximate: RuleSet
+    dg_basis: DuquenneGuiguesBasis
+    luxenburger_full: LuxenburgerBasis
+    luxenburger_reduced: LuxenburgerBasis
+
+    @property
+    def report(self) -> ReductionReport:
+        """Size-comparison report (one row of the reduction tables)."""
+        return reduction_report(
+            dataset=self.database_name,
+            minsup=self.minsup,
+            minconf=self.minconf,
+            all_exact=self.all_exact,
+            dg_basis=self.dg_basis,
+            all_approximate=self.all_approximate,
+            luxenburger_full=self.luxenburger_full.rules,
+            luxenburger_reduced=self.luxenburger_reduced.rules,
+        )
+
+
+def mine_itemsets(
+    database: TransactionDatabase,
+    minsup: float,
+    apriori_max_size: int | None = None,
+) -> ItemsetMiningResult:
+    """Mine all frequent itemsets (Apriori) and the closed ones (Close).
+
+    ``apriori_max_size`` optionally caps the itemset length explored by
+    Apriori; the rule experiments never set it (the full frequent family is
+    needed), but the runtime figures may when a dense dataset at a very low
+    threshold would otherwise dominate the whole benchmark session.
+    """
+    apriori_run = Apriori(minsup, max_size=apriori_max_size).run(database)
+    close_run = Close(minsup).run(database)
+    return ItemsetMiningResult(
+        database=database,
+        minsup=minsup,
+        apriori_run=apriori_run,
+        close_run=close_run,
+    )
+
+
+def build_rule_artifacts(
+    mining: ItemsetMiningResult, minconf: float
+) -> RuleArtifacts:
+    """Build all rule sets and bases for one (dataset, minsup, minconf) cell."""
+    frequent = mining.frequent
+    closed = mining.closed
+    all_rules = generate_all_rules(frequent, minconf=minconf)
+    dg_basis = build_duquenne_guigues_basis(frequent, closed)
+    luxenburger_full = LuxenburgerBasis(
+        closed, minconf=minconf, transitive_reduction=False
+    )
+    luxenburger_reduced = LuxenburgerBasis(
+        closed, minconf=minconf, transitive_reduction=True
+    )
+    return RuleArtifacts(
+        database_name=mining.database.name,
+        minsup=mining.minsup,
+        minconf=minconf,
+        all_rules=all_rules,
+        all_exact=all_rules.exact_rules(),
+        all_approximate=all_rules.approximate_rules(),
+        dg_basis=dg_basis,
+        luxenburger_full=luxenburger_full,
+        luxenburger_reduced=luxenburger_reduced,
+    )
+
+
+def default_algorithms(minsup: float) -> list[MiningAlgorithm]:
+    """The algorithm line-up of the execution-time figures."""
+    return [Apriori(minsup), Close(minsup), AClose(minsup), Charm(minsup)]
+
+
+def time_algorithms(
+    database: TransactionDatabase,
+    minsups: tuple[float, ...] | list[float],
+    algorithm_factories: list[type[MiningAlgorithm]] | None = None,
+) -> list[dict[str, object]]:
+    """Run each algorithm over a support sweep and collect timing rows.
+
+    Returns one row per ``(algorithm, minsup)`` pair with the wall-clock
+    time, the number of itemsets found and the candidate / database-pass
+    counters — the quantities plotted by the original execution-time
+    figures.
+    """
+    factories = algorithm_factories or [Apriori, Close, AClose, Charm]
+    rows: list[dict[str, object]] = []
+    for minsup in minsups:
+        for factory in factories:
+            run = factory(minsup).run(database)
+            rows.append(
+                {
+                    "dataset": database.name,
+                    "algorithm": run.algorithm,
+                    "minsup": minsup,
+                    "itemsets": len(run.family),
+                    "seconds": round(run.statistics.wall_clock_seconds, 4),
+                    "db_passes": run.statistics.database_passes,
+                    "candidates": run.statistics.candidates_generated,
+                }
+            )
+    return rows

@@ -1,0 +1,88 @@
+"""Plain-text and Markdown rendering of experiment tables.
+
+Every experiment function in :mod:`repro.experiments.tables` returns a
+list of dictionaries (one per row).  The renderers here turn such a list
+into an aligned text table (for the terminal and the benchmark output
+files) or a Markdown table (for EXPERIMENTS.md).  Column order follows the
+first row's key order, so the table functions control presentation simply
+by constructing their dictionaries in the intended order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["render_text_table", "render_markdown_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Format one cell: floats get a compact fixed precision, others ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.4f}".rstrip("0").rstrip(".") or "0"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    return str(value)
+
+
+def _columns_of(rows: Sequence[Mapping[str, object]],
+                columns: Sequence[str] | None) -> list[str]:
+    if columns is not None:
+        return list(columns)
+    if not rows:
+        return []
+    return list(rows[0].keys())
+
+
+def render_text_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned, pipe-free text table."""
+    rows = list(rows)
+    headers = _columns_of(rows, columns)
+    if not headers:
+        return (title + "\n" if title else "") + "(no rows)"
+    cells = [[format_value(row.get(column, "")) for column in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for line in cells:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    rows = list(rows)
+    headers = _columns_of(rows, columns)
+    if not headers:
+        return "(no rows)"
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(format_value(row.get(column, "")) for column in headers) + " |"
+        )
+    return "\n".join(lines)

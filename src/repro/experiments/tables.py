@@ -1,0 +1,283 @@
+"""One function per reproduced table / figure.
+
+Each function runs the corresponding experiment on the supplied dataset
+specs (defaulting to the benchmark-scale specs of
+:mod:`repro.experiments.config`) and returns a list of row dictionaries,
+ready for :mod:`repro.experiments.report` to render.  The experiment ids
+(T1–T5, F1–F3, A1–A2) match DESIGN.md §2 and EXPERIMENTS.md.
+
+The functions accept pre-built databases where that avoids rebuilding the
+same dataset repeatedly (the benchmark modules exploit this), but can also
+be called with no arguments to regenerate everything from scratch, which
+is what the CLI does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..algorithms.aclose import AClose
+from ..algorithms.charm import Charm
+from ..algorithms.close import Close
+from ..analysis.statistics import dataset_statistics, itemset_count_profile
+from ..data.context import TransactionDatabase
+from .config import DatasetSpec, all_specs, dense_specs, sparse_specs
+from .harness import build_rule_artifacts, mine_itemsets, time_algorithms
+
+__all__ = [
+    "table1_dataset_characteristics",
+    "table2_itemset_counts",
+    "table3_exact_rules",
+    "table4_approximate_rules",
+    "table5_total_reduction",
+    "figure1_dense_runtimes",
+    "figure2_sparse_runtimes",
+    "figure3_rules_vs_minconf",
+    "ablation_transitive_reduction",
+    "ablation_closed_miners",
+]
+
+
+def _build_databases(specs: Sequence[DatasetSpec]) -> list[tuple[DatasetSpec, TransactionDatabase]]:
+    return [(spec, spec.build()) for spec in specs]
+
+
+# ----------------------------------------------------------------------
+# T1 — dataset characteristics
+# ----------------------------------------------------------------------
+def table1_dataset_characteristics(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T1: objects, items, average size and density of every dataset."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows = []
+    for spec, database in _build_databases(specs):
+        row = dataset_statistics(database).as_dict()
+        # Report under the spec name, which is what the other tables use
+        # (the underlying generator may carry a slightly different label).
+        row["dataset"] = spec.name
+        row["kind"] = "dense" if spec.dense else "sparse"
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T2 — frequent vs frequent closed itemset counts
+# ----------------------------------------------------------------------
+def table2_itemset_counts(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T2: |frequent itemsets| vs |frequent closed itemsets| per minsup."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        for minsup in spec.minsup_sweep:
+            mining = mine_itemsets(database, minsup)
+            profile = itemset_count_profile(mining.frequent, mining.closed)
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "minsup": minsup,
+                    "frequent": profile["frequent_itemsets"],
+                    "closed": profile["closed_itemsets"],
+                    "ratio": profile["ratio"],
+                    "max_frequent_size": profile["max_frequent_size"],
+                    "max_closed_size": profile["max_closed_size"],
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T3 — exact rules vs the Duquenne-Guigues basis
+# ----------------------------------------------------------------------
+def table3_exact_rules(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T3: number of exact rules vs the size of the Duquenne-Guigues basis."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        for minsup in spec.rule_sweep:
+            mining = mine_itemsets(database, minsup)
+            artifacts = build_rule_artifacts(mining, minconf=1.0)
+            report = artifacts.report
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "minsup": minsup,
+                    "exact_rules": report.all_exact_rules,
+                    "dg_basis": report.dg_basis_size,
+                    "reduction": round(report.exact_reduction_factor, 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T4 — approximate rules vs the Luxenburger bases
+# ----------------------------------------------------------------------
+def table4_approximate_rules(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T4: approximate rules vs full / reduced Luxenburger basis sizes."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        for minsup in spec.rule_sweep:
+            mining = mine_itemsets(database, minsup)
+            for minconf in spec.minconfs:
+                artifacts = build_rule_artifacts(mining, minconf=minconf)
+                report = artifacts.report
+                rows.append(
+                    {
+                        "dataset": spec.name,
+                        "minsup": minsup,
+                        "minconf": minconf,
+                        "approx_rules": report.all_approximate_rules,
+                        "lux_full": report.luxenburger_full_size,
+                        "lux_reduced": report.luxenburger_reduced_size,
+                        "reduction": round(report.approximate_reduction_factor, 2),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T5 — total reduction factors
+# ----------------------------------------------------------------------
+def table5_total_reduction(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T5: all rules vs the union of the two bases (total reduction factor)."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        minsup = spec.rule_sweep[-1]
+        mining = mine_itemsets(database, minsup)
+        for minconf in spec.minconfs:
+            report = build_rule_artifacts(mining, minconf=minconf).report
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "minsup": minsup,
+                    "minconf": minconf,
+                    "all_rules": report.all_rules,
+                    "bases_total": report.bases_total,
+                    "reduction": round(report.total_reduction_factor, 2),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# F1 / F2 — execution-time comparisons
+# ----------------------------------------------------------------------
+def figure1_dense_runtimes(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """F1: Apriori vs Close vs A-Close vs CHARM on the dense datasets."""
+    specs = list(specs) if specs is not None else dense_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        rows.extend(time_algorithms(database, spec.minsup_sweep))
+    return rows
+
+
+def figure2_sparse_runtimes(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """F2: the same algorithm line-up on the sparse Quest-style datasets."""
+    specs = list(specs) if specs is not None else sparse_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        rows.extend(time_algorithms(database, spec.minsup_sweep))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# F3 — number of rules as a function of minconf
+# ----------------------------------------------------------------------
+def figure3_rules_vs_minconf(
+    specs: Sequence[DatasetSpec] | None = None,
+    minconfs: Sequence[float] = (0.95, 0.9, 0.8, 0.7, 0.6, 0.5),
+) -> list[dict[str, object]]:
+    """F3: all rules vs bases as the confidence threshold decreases."""
+    specs = list(specs) if specs is not None else dense_specs()[:1]
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        minsup = spec.rule_sweep[0]
+        mining = mine_itemsets(database, minsup)
+        for minconf in minconfs:
+            report = build_rule_artifacts(mining, minconf=minconf).report
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "minsup": minsup,
+                    "minconf": minconf,
+                    "all_rules": report.all_rules,
+                    "dg_basis": report.dg_basis_size,
+                    "lux_reduced": report.luxenburger_reduced_size,
+                    "bases_total": report.bases_total,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A1 — ablation: Luxenburger basis with / without transitive reduction
+# ----------------------------------------------------------------------
+def ablation_transitive_reduction(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """A1: size of the Luxenburger basis with and without the reduction."""
+    specs = list(specs) if specs is not None else dense_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        minsup = spec.rule_sweep[0]
+        mining = mine_itemsets(database, minsup)
+        for minconf in spec.minconfs:
+            artifacts = build_rule_artifacts(mining, minconf=minconf)
+            full = len(artifacts.luxenburger_full)
+            reduced = len(artifacts.luxenburger_reduced)
+            rows.append(
+                {
+                    "dataset": spec.name,
+                    "minsup": minsup,
+                    "minconf": minconf,
+                    "lux_full": full,
+                    "lux_reduced": reduced,
+                    "saving": round(full / reduced, 2) if reduced else 1.0,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# A2 — ablation: cross-check of the closed itemset miners
+# ----------------------------------------------------------------------
+def ablation_closed_miners(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """A2: Close vs A-Close vs CHARM — result equality and timings."""
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        minsup = spec.minsup_sweep[0]
+        close_run = Close(minsup).run(database)
+        aclose_run = AClose(minsup).run(database)
+        charm_run = Charm(minsup).run(database)
+        reference = close_run.family.to_dict()
+        rows.append(
+            {
+                "dataset": spec.name,
+                "minsup": minsup,
+                "closed_itemsets": len(close_run.family),
+                "close_seconds": round(close_run.statistics.wall_clock_seconds, 4),
+                "aclose_seconds": round(aclose_run.statistics.wall_clock_seconds, 4),
+                "charm_seconds": round(charm_run.statistics.wall_clock_seconds, 4),
+                "aclose_matches": aclose_run.family.to_dict() == reference,
+                "charm_matches": charm_run.family.to_dict() == reference,
+            }
+        )
+    return rows

@@ -1,0 +1,121 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures revolve around three kinds of data:
+
+* the classic five-transaction context used in the Close / A-Close papers
+  (``toy_db``) whose frequent and closed itemsets are known by hand;
+* tiny edge-case contexts (an item present everywhere, identical rows,
+  a single transaction);
+* small seeded random and generated datasets for cross-checking the
+  algorithms against brute-force oracles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Apriori, Close, TransactionDatabase
+from repro.data.benchmarks_data import make_categorical_dataset
+from repro.data.synthetic import make_quest_dataset
+
+
+@pytest.fixture(scope="session")
+def toy_transactions() -> list[list[str]]:
+    """The five-transaction example context of the Close paper."""
+    return [
+        ["a", "c", "d"],
+        ["b", "c", "e"],
+        ["a", "b", "c", "e"],
+        ["b", "e"],
+        ["a", "b", "c", "e"],
+    ]
+
+
+@pytest.fixture(scope="session")
+def toy_db(toy_transactions) -> TransactionDatabase:
+    """The classic example database (5 objects, 5 items, item d infrequent)."""
+    return TransactionDatabase(toy_transactions, name="toy")
+
+
+@pytest.fixture(scope="session")
+def toy_frequent(toy_db):
+    """All frequent itemsets of the toy database at minsup 0.4 (15 itemsets)."""
+    return Apriori(minsup=0.4).mine(toy_db)
+
+
+@pytest.fixture(scope="session")
+def toy_closed(toy_db):
+    """The 5 frequent closed itemsets of the toy database at minsup 0.4."""
+    return Close(minsup=0.4).mine(toy_db)
+
+
+@pytest.fixture(scope="session")
+def allx_db() -> TransactionDatabase:
+    """A context where item ``x`` occurs in every object (h(∅) = {x})."""
+    return TransactionDatabase(
+        [["x", "a"], ["x", "b"], ["x", "a", "b"], ["x"]], name="allx"
+    )
+
+
+@pytest.fixture(scope="session")
+def single_row_db() -> TransactionDatabase:
+    """A context with a single transaction (everything is closed and exact)."""
+    return TransactionDatabase([["a", "b", "c"]], name="single")
+
+
+@pytest.fixture(scope="session")
+def identical_rows_db() -> TransactionDatabase:
+    """Four identical transactions: exactly one closed itemset at any threshold."""
+    return TransactionDatabase([["a", "b", "c"]] * 4, name="identical")
+
+
+def make_random_db(
+    seed: int, n_objects: int = 40, n_items: int = 8, max_row: int = 6
+) -> TransactionDatabase:
+    """Small random database used by the cross-check tests (seeded)."""
+    rng = random.Random(seed)
+    transactions = []
+    for _ in range(n_objects):
+        size = rng.randint(1, max_row)
+        transactions.append(
+            sorted({f"i{rng.randrange(n_items)}" for _ in range(size)})
+        )
+    return TransactionDatabase(transactions, name=f"random{seed}")
+
+
+@pytest.fixture(params=[0, 1, 2, 3, 4])
+def random_db(request) -> TransactionDatabase:
+    """Five different small random databases (parametrised fixture)."""
+    return make_random_db(request.param)
+
+
+@pytest.fixture(scope="session")
+def dense_smoke_db() -> TransactionDatabase:
+    """A small but genuinely correlated categorical dataset."""
+    return make_categorical_dataset(
+        n_objects=120,
+        n_attributes=6,
+        values_per_attribute=4,
+        n_latent_classes=3,
+        class_fidelity=0.85,
+        n_deterministic_attributes=2,
+        n_constant_attributes=1,
+        seed=5,
+        name="dense-smoke",
+    )
+
+
+@pytest.fixture(scope="session")
+def sparse_smoke_db() -> TransactionDatabase:
+    """A small Quest-style sparse dataset."""
+    return make_quest_dataset(
+        avg_transaction_size=6,
+        avg_pattern_size=3,
+        n_transactions=150,
+        n_items=30,
+        n_patterns=15,
+        seed=3,
+        name="sparse-smoke",
+    )

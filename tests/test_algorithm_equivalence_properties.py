@@ -1,0 +1,67 @@
+"""Property-based cross-checks between the mining algorithms.
+
+Hypothesis generates arbitrary small contexts; on each of them the four
+miners must be mutually consistent:
+
+* Close, A-Close and CHARM return identical closed families;
+* the closed family, expanded by the smallest-closed-superset rule,
+  reproduces exactly the Apriori frequent family (Definition 1's
+  "generating set" property);
+* the closures of all Apriori itemsets are exactly the closed family.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AClose, Apriori, Charm, Close, TransactionDatabase
+
+ITEM_POOL = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def mining_cases(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=10))
+    rows = [
+        draw(st.sets(st.sampled_from(ITEM_POOL), min_size=0, max_size=len(ITEM_POOL)))
+        for _ in range(n_rows)
+    ]
+    minsup = draw(st.sampled_from([0.1, 0.2, 0.4, 0.6]))
+    return TransactionDatabase(rows, item_order=ITEM_POOL), minsup
+
+
+@settings(max_examples=80, deadline=None)
+@given(mining_cases())
+def test_close_aclose_charm_agree(case):
+    db, minsup = case
+    close_family = Close(minsup).mine(db).to_dict()
+    assert AClose(minsup).mine(db).to_dict() == close_family
+    assert Charm(minsup).mine(db).to_dict() == close_family
+
+
+@settings(max_examples=80, deadline=None)
+@given(mining_cases())
+def test_closed_family_generates_frequent_family(case):
+    db, minsup = case
+    frequent = Apriori(minsup).mine(db)
+    closed = Close(minsup).mine(db)
+    assert closed.expand_to_frequent_itemsets().to_dict() == frequent.to_dict()
+
+
+@settings(max_examples=80, deadline=None)
+@given(mining_cases())
+def test_closed_family_is_the_closure_image_of_frequent_family(case):
+    db, minsup = case
+    frequent = Apriori(minsup).mine(db)
+    closed = Close(minsup).mine(db)
+    assert {db.closure(itemset) for itemset in frequent} == set(closed)
+
+
+@settings(max_examples=80, deadline=None)
+@given(mining_cases())
+def test_inferred_supports_match_database_supports(case):
+    db, minsup = case
+    frequent = Apriori(minsup).mine(db)
+    closed = Close(minsup).mine(db)
+    for itemset in frequent:
+        assert closed.inferred_support_count(itemset) == db.support_count(itemset)

@@ -1,0 +1,106 @@
+"""Unit tests for the Apriori baseline miner."""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro import Apriori, TransactionDatabase
+from repro.algorithms.apriori import apriori_candidates
+from repro.core.itemset import Itemset
+from repro.errors import InvalidParameterError
+
+
+def brute_force_frequent(db: TransactionDatabase, minsup: float) -> dict[Itemset, int]:
+    """Reference implementation: enumerate every non-empty itemset."""
+    threshold = db.minsup_count(minsup)
+    items = list(db.item_universe)
+    result: dict[Itemset, int] = {}
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            itemset = Itemset(combo)
+            count = db.support_count(itemset)
+            if count >= threshold:
+                result[itemset] = count
+    return result
+
+
+class TestCandidateGeneration:
+    def test_joins_itemsets_sharing_prefix(self):
+        level = [Itemset("ab"), Itemset("ac"), Itemset("bc")]
+        assert apriori_candidates(level) == [Itemset("abc")]
+
+    def test_prunes_candidates_with_infrequent_subset(self):
+        # {a,b,c} requires {b,c} to be present.
+        level = [Itemset("ab"), Itemset("ac")]
+        assert apriori_candidates(level) == []
+
+    def test_singletons_join_into_pairs(self):
+        level = [Itemset("a"), Itemset("b"), Itemset("c")]
+        assert apriori_candidates(level) == [
+            Itemset("ab"),
+            Itemset("ac"),
+            Itemset("bc"),
+        ]
+
+    def test_empty_level(self):
+        assert apriori_candidates([]) == []
+
+
+class TestApriori:
+    def test_toy_counts(self, toy_db, toy_frequent):
+        assert len(toy_frequent) == 15
+        assert toy_frequent.support_count(Itemset("abce")) == 2
+        assert toy_frequent.support_count(Itemset("be")) == 4
+        assert Itemset("d") not in toy_frequent
+
+    def test_matches_brute_force_on_toy(self, toy_db):
+        for minsup in (0.2, 0.4, 0.6, 0.8):
+            family = Apriori(minsup).mine(toy_db)
+            assert family.to_dict() == brute_force_frequent(toy_db, minsup)
+
+    def test_matches_brute_force_on_random_databases(self, random_db):
+        for minsup in (0.1, 0.25, 0.5):
+            family = Apriori(minsup).mine(random_db)
+            assert family.to_dict() == brute_force_frequent(random_db, minsup)
+
+    def test_family_is_downward_closed(self, toy_frequent):
+        for itemset in toy_frequent:
+            for subset in itemset.nonempty_proper_subsets():
+                assert subset in toy_frequent
+                assert toy_frequent.support_count(subset) >= toy_frequent.support_count(
+                    itemset
+                )
+
+    def test_max_size_caps_exploration(self, toy_db):
+        capped = Apriori(minsup=0.4, max_size=2).mine(toy_db)
+        assert capped.max_size() == 2
+        full = Apriori(minsup=0.4).mine(toy_db)
+        assert {i for i in full if len(i) <= 2} == set(capped)
+
+    def test_high_threshold_keeps_only_ubiquitous_items(self, identical_rows_db):
+        family = Apriori(minsup=1.0).mine(identical_rows_db)
+        assert Itemset("abc") in family
+        assert len(family) == 7  # every non-empty subset of {a,b,c}
+
+    def test_minsup_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Apriori(minsup=1.2)
+        with pytest.raises(InvalidParameterError):
+            Apriori(minsup=-0.1)
+
+    def test_run_records_statistics(self, toy_db):
+        run = Apriori(minsup=0.4).run(toy_db)
+        stats = run.statistics
+        assert stats.itemsets_found == 15
+        assert stats.levels == 4
+        assert stats.database_passes == stats.levels
+        assert stats.candidates_generated >= 15
+        assert stats.wall_clock_seconds >= 0.0
+        assert "Apriori" in str(run)
+
+    def test_threshold_metadata_is_recorded(self, toy_db):
+        family = Apriori(minsup=0.4).mine(toy_db)
+        assert family.minsup_count == 2
+        assert family.n_objects == 5

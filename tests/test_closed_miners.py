@@ -1,0 +1,145 @@
+"""Tests for the three closed-itemset miners (Close, A-Close, CHARM).
+
+The three algorithms implement radically different strategies but must
+return exactly the same family of (closed itemset, support) pairs; the
+reference oracle is a brute-force enumeration over the powerset of items.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import pytest
+
+from repro import AClose, Apriori, Charm, Close, TransactionDatabase
+from repro.core.generators import is_minimal_generator
+from repro.core.itemset import Itemset
+
+
+def brute_force_closed(db: TransactionDatabase, minsup: float) -> dict[Itemset, int]:
+    """Reference: frequent itemsets that equal their own closure."""
+    threshold = db.minsup_count(minsup)
+    items = list(db.item_universe)
+    result: dict[Itemset, int] = {}
+    for size in range(1, len(items) + 1):
+        for combo in combinations(items, size):
+            itemset = Itemset(combo)
+            count = db.support_count(itemset)
+            if count >= threshold and db.closure(itemset) == itemset:
+                result[itemset] = count
+    return result
+
+
+TOY_EXPECTED = {
+    Itemset("c"): 4,
+    Itemset("ac"): 3,
+    Itemset("be"): 4,
+    Itemset("bce"): 3,
+    Itemset("abce"): 2,
+}
+
+
+@pytest.mark.parametrize("algorithm_class", [Close, AClose, Charm])
+class TestClosedMiners:
+    def test_toy_closed_itemsets(self, toy_db, algorithm_class):
+        family = algorithm_class(minsup=0.4).mine(toy_db)
+        assert family.to_dict() == TOY_EXPECTED
+
+    def test_matches_brute_force_on_toy_at_various_thresholds(
+        self, toy_db, algorithm_class
+    ):
+        for minsup in (0.2, 0.4, 0.6, 0.8, 1.0):
+            family = algorithm_class(minsup).mine(toy_db)
+            assert family.to_dict() == brute_force_closed(toy_db, minsup)
+
+    def test_matches_brute_force_on_random_databases(self, random_db, algorithm_class):
+        for minsup in (0.1, 0.3, 0.5):
+            family = algorithm_class(minsup).mine(random_db)
+            assert family.to_dict() == brute_force_closed(random_db, minsup)
+
+    def test_every_member_is_closed_in_database(self, toy_db, algorithm_class):
+        family = algorithm_class(minsup=0.2).mine(toy_db)
+        for itemset in family:
+            assert toy_db.closure(itemset) == itemset
+            assert toy_db.support_count(itemset) == family.support_count(itemset)
+
+    def test_identical_rows_collapse_to_single_closed_set(
+        self, identical_rows_db, algorithm_class
+    ):
+        family = algorithm_class(minsup=0.5).mine(identical_rows_db)
+        assert family.to_dict() == {Itemset("abc"): 4}
+
+    def test_single_transaction(self, single_row_db, algorithm_class):
+        family = algorithm_class(minsup=1.0).mine(single_row_db)
+        assert family.to_dict() == {Itemset("abc"): 1}
+
+    def test_universal_item_database(self, allx_db, algorithm_class):
+        family = algorithm_class(minsup=0.5).mine(allx_db)
+        brute = brute_force_closed(allx_db, 0.5)
+        assert family.to_dict() == brute
+
+    def test_all_three_agree_on_dense_smoke_data(self, dense_smoke_db, algorithm_class):
+        reference = Close(minsup=0.3).mine(dense_smoke_db).to_dict()
+        assert algorithm_class(minsup=0.3).mine(dense_smoke_db).to_dict() == reference
+
+
+class TestCloseSpecifics:
+    def test_generators_close_to_their_closures(self, toy_db):
+        miner = Close(minsup=0.4)
+        family = miner.mine(toy_db)
+        assert set(miner.generators_by_closure) == set(family)
+        for closure, generators in miner.generators_by_closure.items():
+            for generator in generators:
+                assert toy_db.closure(generator) == closure
+
+    def test_generators_are_minimal(self, toy_db):
+        miner = Close(minsup=0.4)
+        miner.mine(toy_db)
+        for generators in miner.generators_by_closure.values():
+            for generator in generators:
+                assert is_minimal_generator(toy_db, generator)
+
+    def test_close_fewer_candidates_than_apriori_on_dense_data(self, dense_smoke_db):
+        apriori_run = Apriori(minsup=0.3).run(dense_smoke_db)
+        close_run = Close(minsup=0.3).run(dense_smoke_db)
+        assert (
+            close_run.statistics.candidates_generated
+            < apriori_run.statistics.candidates_generated
+        )
+
+
+class TestACloseSpecifics:
+    def test_generators_are_recorded(self, toy_db):
+        miner = AClose(minsup=0.4)
+        family = miner.mine(toy_db)
+        assert set(miner.generators_by_closure) == set(family)
+        assert Itemset("a") in miner.generators
+
+    def test_generator_supports_equal_closure_supports(self, toy_db):
+        miner = AClose(minsup=0.4)
+        family = miner.mine(toy_db)
+        for closure, generators in miner.generators_by_closure.items():
+            for generator in generators:
+                assert toy_db.support_count(generator) == family.support_count(closure)
+
+
+class TestFamilyEquivalence:
+    def test_closed_family_expansion_equals_apriori(self, random_db):
+        """Definition 1: the closed family generates all frequent itemsets."""
+        minsup = 0.2
+        frequent = Apriori(minsup).mine(random_db)
+        closed = Close(minsup).mine(random_db)
+        assert closed.expand_to_frequent_itemsets().to_dict() == frequent.to_dict()
+
+    def test_maximal_frequent_equal_maximal_closed(self, random_db):
+        """Maximal frequent itemsets are maximal frequent closed itemsets."""
+        minsup = 0.2
+        frequent = Apriori(minsup).mine(random_db)
+        closed = Close(minsup).mine(random_db)
+        assert set(frequent.maximal_itemsets()) == set(closed.maximal_itemsets())
+
+    def test_closed_count_never_exceeds_frequent_count(self, random_db):
+        for minsup in (0.1, 0.3):
+            frequent = Apriori(minsup).mine(random_db)
+            closed = Close(minsup).mine(random_db)
+            assert len(closed) <= len(frequent)

@@ -1,0 +1,89 @@
+"""Tests for the Galois connection wrapper and formal-concept enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GaloisConnection, enumerate_concepts
+from repro.core.concept import FormalConcept
+from repro.core.itemset import Itemset
+
+
+class TestGaloisConnection:
+    def test_f_and_g_on_the_toy_context(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        assert connection.g(Itemset("a")) == frozenset({0, 2, 4})
+        assert connection.f([0, 2, 4]) == Itemset("ac")
+        assert connection.h(Itemset("a")) == Itemset("ac")
+
+    def test_database_property(self, toy_db):
+        assert GaloisConnection(toy_db).database is toy_db
+
+    def test_support_shortcuts(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        assert connection.support_count(Itemset("be")) == 4
+        assert connection.support(Itemset("be")) == pytest.approx(0.8)
+
+    def test_is_closed_itemset(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        assert connection.is_closed_itemset(Itemset("bce"))
+        assert not connection.is_closed_itemset(Itemset("bc"))
+
+    def test_objectset_closure(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        # Objects {2, 4} share {a,b,c,e}, whose cover is exactly {2, 4}.
+        assert connection.objectset_closure([2, 4]) == frozenset({2, 4})
+        # Objects {0, 3} only share nothing, so their closure is every object.
+        assert connection.objectset_closure([0, 3]) == frozenset(range(5))
+
+    def test_closed_itemsets_enumeration(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        closed = set(connection.closed_itemsets())
+        # All frequent closed itemsets plus the infrequent ones (acd, the
+        # universe, the empty set...).
+        expected_members = {
+            Itemset(""),
+            Itemset("c"),
+            Itemset("ac"),
+            Itemset("be"),
+            Itemset("bce"),
+            Itemset("abce"),
+            Itemset("acd"),
+            Itemset("abcde"),
+        }
+        assert expected_members <= closed
+        for itemset in closed:
+            assert toy_db.closure(itemset) == itemset
+
+    def test_concept_count(self, toy_db):
+        connection = GaloisConnection(toy_db)
+        assert connection.concept_count() == len(set(connection.closed_itemsets()))
+
+
+class TestFormalConcepts:
+    def test_enumerate_concepts_extents_match_intents(self, toy_db):
+        concepts = list(enumerate_concepts(toy_db))
+        assert concepts == sorted(concepts)
+        for concept in concepts:
+            assert toy_db.cover(concept.intent) == concept.extent
+            assert concept.support_count == len(concept.extent)
+            if concept.extent:
+                assert toy_db.common_items(concept.extent) == concept.intent
+
+    def test_relative_support(self):
+        concept = FormalConcept(
+            intent=Itemset("ab"), extent=frozenset({0, 1}), support_count=2
+        )
+        assert concept.support(4) == pytest.approx(0.5)
+        assert concept.support(0) == 0.0
+
+    def test_str(self):
+        concept = FormalConcept(
+            intent=Itemset("ab"), extent=frozenset({0}), support_count=1
+        )
+        assert "support_count=1" in str(concept)
+
+    def test_concepts_of_identical_rows(self, identical_rows_db):
+        concepts = list(enumerate_concepts(identical_rows_db))
+        intents = {concept.intent for concept in concepts}
+        assert intents == {Itemset("abc")}

@@ -1,0 +1,188 @@
+"""Tests for the experiment harness, table functions, renderers and CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.io import save_basket_file
+from repro.experiments import (
+    DatasetSpec,
+    build_rule_artifacts,
+    mine_itemsets,
+    render_markdown_table,
+    render_text_table,
+    smoke_specs,
+    time_algorithms,
+)
+from repro.experiments import tables
+from repro.experiments.cli import build_parser, main
+from repro.experiments.config import all_specs, dense_specs, sparse_specs
+from repro.experiments.report import format_value
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return smoke_specs()
+
+
+class TestConfig:
+    def test_benchmark_specs_are_well_formed(self):
+        for spec in all_specs():
+            assert spec.minsup_sweep
+            assert all(0.0 < m <= 1.0 for m in spec.minsup_sweep)
+            assert set(spec.rule_sweep) <= set(spec.minsup_sweep)
+            assert spec.minconfs
+
+    def test_dense_and_sparse_partition(self):
+        assert all(spec.dense for spec in dense_specs())
+        assert not any(spec.dense for spec in sparse_specs())
+
+    def test_rule_sweep_defaults_to_minsup_sweep(self):
+        spec = DatasetSpec(
+            name="x", factory=lambda: None, minsup_sweep=(0.5, 0.4)
+        )
+        assert spec.rule_sweep == (0.5, 0.4)
+
+    def test_smoke_specs_build_small_databases(self, smoke):
+        for spec in smoke:
+            db = spec.build()
+            assert db.n_objects <= 250
+
+
+class TestHarness:
+    def test_mine_itemsets_bundles_both_families(self, smoke):
+        spec = smoke[0]
+        mining = mine_itemsets(spec.build(), spec.minsup_sweep[0])
+        assert len(mining.closed) <= len(mining.frequent)
+        assert mining.apriori_run.algorithm == "Apriori"
+        assert mining.close_run.algorithm == "Close"
+
+    def test_build_rule_artifacts_report_is_consistent(self, smoke):
+        spec = smoke[0]
+        mining = mine_itemsets(spec.build(), spec.minsup_sweep[0])
+        artifacts = build_rule_artifacts(mining, minconf=0.5)
+        report = artifacts.report
+        assert report.all_rules == len(artifacts.all_rules)
+        assert report.all_exact_rules == len(artifacts.all_exact)
+        assert report.dg_basis_size == len(artifacts.dg_basis)
+        assert report.bases_total >= report.dg_basis_size
+        assert report.total_reduction_factor >= 1.0
+
+    def test_time_algorithms_rows(self, smoke):
+        spec = smoke[1]
+        rows = time_algorithms(spec.build(), spec.minsup_sweep[:1])
+        assert len(rows) == 4  # Apriori, Close, A-Close, CHARM
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"Apriori", "Close", "A-Close", "CHARM"}
+        assert all(row["seconds"] >= 0 for row in rows)
+
+
+class TestTables:
+    def test_table1(self, smoke):
+        rows = tables.table1_dataset_characteristics(smoke)
+        assert len(rows) == len(smoke)
+        assert {row["kind"] for row in rows} == {"dense", "sparse"}
+
+    def test_table2_closed_never_exceeds_frequent(self, smoke):
+        rows = tables.table2_itemset_counts(smoke)
+        assert rows
+        for row in rows:
+            assert row["closed"] <= row["frequent"]
+            assert row["ratio"] >= 1.0 or row["frequent"] == 0
+
+    def test_table3_basis_never_larger_than_exact_rules(self, smoke):
+        rows = tables.table3_exact_rules(smoke)
+        for row in rows:
+            assert row["dg_basis"] <= max(row["exact_rules"], row["dg_basis"])
+            assert row["reduction"] >= 0
+
+    def test_table4_reduced_basis_never_larger_than_full(self, smoke):
+        rows = tables.table4_approximate_rules(smoke)
+        for row in rows:
+            assert row["lux_reduced"] <= row["lux_full"]
+
+    def test_table5_reduction_factors(self, smoke):
+        rows = tables.table5_total_reduction(smoke)
+        for row in rows:
+            assert row["bases_total"] >= 0
+            assert row["reduction"] >= 1.0 or row["all_rules"] == 0
+
+    def test_figure3_rules_grow_as_minconf_drops(self, smoke):
+        rows = tables.figure3_rules_vs_minconf(smoke[:1], minconfs=(0.9, 0.5))
+        assert len(rows) == 2
+        assert rows[1]["all_rules"] >= rows[0]["all_rules"]
+
+    def test_ablation_closed_miners_all_match(self, smoke):
+        rows = tables.ablation_closed_miners(smoke)
+        for row in rows:
+            assert row["aclose_matches"] is True
+            assert row["charm_matches"] is True
+
+    def test_ablation_transitive_reduction(self, smoke):
+        rows = tables.ablation_transitive_reduction(smoke[:1])
+        for row in rows:
+            assert row["lux_reduced"] <= row["lux_full"]
+            assert row["saving"] >= 1.0
+
+
+class TestReportRendering:
+    def test_text_table_alignment_and_title(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        text = render_text_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_text_table_empty(self):
+        assert "(no rows)" in render_text_table([])
+
+    def test_markdown_table(self):
+        rows = [{"a": 1, "b": 2.5}]
+        markdown = render_markdown_table(rows)
+        assert markdown.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2.5 |" in markdown
+
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.123456) == "0.1235"
+        assert format_value(12345.0) == "12,345"
+        assert format_value(3) == "3"
+        assert format_value(float("inf")) == "inf"
+        assert format_value("text") == "text"
+
+
+class TestCli:
+    def test_parser_knows_every_experiment(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "T1", "--smoke"])
+        assert args.id == "T1"
+        assert args.smoke is True
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "--smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "dataset" in output
+        assert "MUSHROOM-smoke" in output
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "T1", "--smoke"]) == 0
+        assert "T1" in capsys.readouterr().out
+
+    def test_mine_command(self, tmp_path, capsys, toy_db):
+        path = tmp_path / "toy.basket"
+        save_basket_file(toy_db, path)
+        assert main(["mine", "--dataset", str(path), "--minsup", "0.4"]) == 0
+        output = capsys.readouterr().out
+        assert "frequent closed itemsets" in output
+        assert "{a, c}" in output
+
+    def test_bases_command(self, tmp_path, capsys, toy_db):
+        path = tmp_path / "toy.basket"
+        save_basket_file(toy_db, path)
+        assert main(
+            ["bases", "--dataset", str(path), "--minsup", "0.4", "--minconf", "0.5"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Duquenne-Guigues basis" in output
+        assert "Luxenburger reduced basis" in output

@@ -1,0 +1,100 @@
+"""Tests for the generic / informative bases (minimal-generator extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Close
+from repro.core.generators import GeneratorFamily
+from repro.core.informative import GenericBasis, InformativeBasis
+from repro.core.itemset import Itemset
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture()
+def toy_generator_family(toy_db, toy_closed) -> GeneratorFamily:
+    miner = Close(minsup=0.4)
+    miner.mine(toy_db)
+    return GeneratorFamily(toy_closed, miner.generators_by_closure)
+
+
+class TestGenericBasis:
+    def test_rules_of_the_toy_context(self, toy_generator_family):
+        basis = GenericBasis(toy_generator_family)
+        keys = {(rule.antecedent, rule.consequent) for rule in basis}
+        assert keys == {
+            (Itemset("a"), Itemset("c")),
+            (Itemset("b"), Itemset("e")),
+            (Itemset("e"), Itemset("b")),
+            (Itemset("bc"), Itemset("e")),
+            (Itemset("ce"), Itemset("b")),
+            (Itemset("ab"), Itemset("ce")),
+            (Itemset("ae"), Itemset("bc")),
+        }
+
+    def test_every_rule_is_exact_and_correct(self, toy_db, toy_generator_family):
+        basis = GenericBasis(toy_generator_family)
+        for rule in basis:
+            union = rule.antecedent.union(rule.consequent)
+            assert rule.confidence == 1.0
+            assert toy_db.support_count(rule.antecedent) == toy_db.support_count(union)
+            assert toy_db.closure(rule.antecedent) == union
+
+    def test_antecedents_are_generators_and_consequents_their_closures(
+        self, toy_generator_family
+    ):
+        basis = GenericBasis(toy_generator_family)
+        for rule in basis:
+            closure = rule.antecedent.union(rule.consequent)
+            assert rule.antecedent in toy_generator_family.generators_of(closure)
+
+    def test_repr(self, toy_generator_family):
+        assert "GenericBasis" in repr(GenericBasis(toy_generator_family))
+
+
+class TestInformativeBasis:
+    def test_reduced_rules_follow_lattice_edges(self, toy_db, toy_generator_family):
+        basis = InformativeBasis(toy_generator_family, minconf=0.0, reduced=True)
+        for rule in basis:
+            lower = toy_db.closure(rule.antecedent)
+            upper = rule.antecedent.union(rule.consequent)
+            # The consequent completes the antecedent to a closed itemset
+            # immediately above the antecedent's closure.
+            assert toy_db.closure(upper) == upper
+            assert lower.is_proper_subset(upper)
+
+    def test_rule_statistics_are_correct(self, toy_db, toy_generator_family):
+        basis = InformativeBasis(toy_generator_family, minconf=0.0, reduced=True)
+        assert len(basis) > 0
+        for rule in basis:
+            union = rule.antecedent.union(rule.consequent)
+            assert rule.support == pytest.approx(toy_db.support(union))
+            assert rule.confidence == pytest.approx(
+                toy_db.support_count(union) / toy_db.support_count(rule.antecedent)
+            )
+
+    def test_full_variant_is_a_superset_of_the_reduced_one(self, toy_generator_family):
+        reduced = InformativeBasis(toy_generator_family, minconf=0.0, reduced=True)
+        full = InformativeBasis(toy_generator_family, minconf=0.0, reduced=False)
+        assert reduced.rules.keys() <= full.rules.keys()
+        assert len(full) >= len(reduced)
+
+    def test_minconf_filtering(self, toy_generator_family):
+        loose = InformativeBasis(toy_generator_family, minconf=0.0)
+        tight = InformativeBasis(toy_generator_family, minconf=0.74)
+        assert len(tight) < len(loose)
+        assert all(rule.confidence >= 0.74 for rule in tight)
+
+    def test_no_exact_rules(self, toy_generator_family):
+        basis = InformativeBasis(toy_generator_family, minconf=0.0)
+        assert all(rule.is_approximate for rule in basis)
+
+    def test_invalid_minconf(self, toy_generator_family):
+        with pytest.raises(InvalidParameterError):
+            InformativeBasis(toy_generator_family, minconf=-0.1)
+
+    def test_repr_mentions_variant(self, toy_generator_family):
+        assert "reduced" in repr(InformativeBasis(toy_generator_family, minconf=0.5))
+        assert "full" in repr(
+            InformativeBasis(toy_generator_family, minconf=0.5, reduced=False)
+        )

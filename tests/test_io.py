@@ -1,0 +1,103 @@
+"""Tests for the dataset readers and writers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TransactionDatabase
+from repro.core.itemset import Itemset
+from repro.data.io import (
+    load_basket_file,
+    load_tabular_file,
+    parse_basket_lines,
+    save_basket_file,
+    save_tabular_file,
+)
+from repro.errors import DatasetFormatError
+
+
+class TestBasketFormat:
+    def test_parse_lines_skips_blanks_and_comments(self):
+        lines = ["a b c", "", "# comment", "d e"]
+        assert list(parse_basket_lines(lines)) == [["a", "b", "c"], ["d", "e"]]
+
+    def test_round_trip(self, tmp_path, toy_db):
+        path = tmp_path / "toy.basket"
+        save_basket_file(toy_db, path)
+        loaded = load_basket_file(path)
+        assert loaded.n_objects == toy_db.n_objects
+        assert loaded.transactions() == toy_db.transactions()
+        assert loaded.name == "toy"
+
+    def test_load_respects_custom_name(self, tmp_path, toy_db):
+        path = tmp_path / "data.txt"
+        save_basket_file(toy_db, path)
+        assert load_basket_file(path, name="renamed").name == "renamed"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            load_basket_file(tmp_path / "absent.basket")
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.basket"
+        path.write_text("# only a comment\n")
+        with pytest.raises(DatasetFormatError):
+            load_basket_file(path)
+
+
+class TestTabularFormat:
+    def test_load_itemises_attribute_value_pairs(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("red,round\ngreen,long\nred,long\n")
+        db = load_tabular_file(path, attribute_names=["colour", "shape"])
+        assert db.n_objects == 3
+        assert db.transaction(0) == Itemset(["colour=red", "shape=round"])
+
+    def test_default_attribute_names(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("x,y\nz,w\n")
+        db = load_tabular_file(path)
+        assert db.transaction(0) == Itemset(["a0=x", "a1=y"])
+
+    def test_missing_values_produce_no_item(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("x,?\n,y\n")
+        db = load_tabular_file(path)
+        assert db.transaction(0) == Itemset(["a0=x"])
+        assert db.transaction(1) == Itemset(["a1=y"])
+
+    def test_ragged_rows_raise(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("a,b\nc\n")
+        with pytest.raises(DatasetFormatError):
+            load_tabular_file(path)
+
+    def test_wrong_attribute_name_count_raises(self, tmp_path):
+        path = tmp_path / "table.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DatasetFormatError):
+            load_tabular_file(path, attribute_names=["only-one"])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetFormatError):
+            load_tabular_file(tmp_path / "absent.csv")
+
+    def test_round_trip(self, tmp_path):
+        original = TransactionDatabase(
+            [["colour=red", "shape=round"], ["colour=green", "shape=long"]],
+            name="veg",
+        )
+        path = tmp_path / "veg.csv"
+        save_tabular_file(original, path)
+        loaded = load_tabular_file(path, attribute_names=["colour", "shape"])
+        assert loaded.transactions() == original.transactions()
+
+    def test_save_rejects_non_attribute_items(self, tmp_path, toy_db):
+        with pytest.raises(DatasetFormatError):
+            save_tabular_file(toy_db, tmp_path / "bad.csv")
+
+    def test_save_fills_missing_attributes_with_question_marks(self, tmp_path):
+        db = TransactionDatabase([["a=1", "b=2"], ["a=3"]])
+        path = tmp_path / "partial.csv"
+        save_tabular_file(db, path)
+        assert path.read_text().splitlines()[1] == "3,?"

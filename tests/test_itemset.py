@@ -1,0 +1,199 @@
+"""Unit tests for the canonical :class:`repro.core.itemset.Itemset` type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.itemset import Itemset, powerset, proper_nonempty_subsets
+
+
+class TestConstruction:
+    def test_empty_constructor(self):
+        assert len(Itemset()) == 0
+        assert not Itemset()
+
+    def test_empty_singleton_helper(self):
+        assert Itemset.empty() == Itemset()
+        assert len(Itemset.empty()) == 0
+
+    def test_of_builds_from_positional_items(self):
+        assert Itemset.of("a", "b") == Itemset(["a", "b"])
+
+    def test_duplicates_are_collapsed(self):
+        assert len(Itemset(["a", "a", "b"])) == 2
+
+    def test_coerce_returns_same_object_for_itemset(self):
+        original = Itemset("abc")
+        assert Itemset.coerce(original) is original
+
+    def test_coerce_builds_from_iterable(self):
+        assert Itemset.coerce(["b", "a"]) == Itemset("ab")
+
+    def test_string_iterates_characters(self):
+        assert Itemset("bca").as_tuple() == ("a", "b", "c")
+
+    def test_mixed_types_are_supported(self):
+        mixed = Itemset([1, "a", 2])
+        assert len(mixed) == 3
+        assert 1 in mixed and "a" in mixed
+
+
+class TestContainerProtocol:
+    def test_len(self):
+        assert len(Itemset("abc")) == 3
+
+    def test_iteration_is_sorted(self):
+        assert list(Itemset("cab")) == ["a", "b", "c"]
+
+    def test_contains(self):
+        assert "a" in Itemset("ab")
+        assert "z" not in Itemset("ab")
+
+    def test_bool(self):
+        assert Itemset("a")
+        assert not Itemset()
+
+
+class TestEqualityAndOrdering:
+    def test_equality_with_itemset(self):
+        assert Itemset("ab") == Itemset(["b", "a"])
+
+    def test_equality_with_frozenset(self):
+        assert Itemset("ab") == frozenset({"a", "b"})
+
+    def test_hash_matches_equality(self):
+        assert hash(Itemset("ab")) == hash(Itemset(["b", "a"]))
+        assert len({Itemset("ab"), Itemset("ba")}) == 1
+
+    def test_order_is_size_first(self):
+        assert Itemset("z") < Itemset("ab")
+
+    def test_order_lexicographic_within_size(self):
+        assert Itemset("ab") < Itemset("ac")
+
+    def test_le_ge(self):
+        assert Itemset("ab") <= Itemset("ab")
+        assert Itemset("ac") >= Itemset("ab")
+
+    def test_sorted_list_of_itemsets(self):
+        itemsets = [Itemset("bc"), Itemset("a"), Itemset("abc"), Itemset("b")]
+        assert sorted(itemsets) == [
+            Itemset("a"),
+            Itemset("b"),
+            Itemset("bc"),
+            Itemset("abc"),
+        ]
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert Itemset("ab") | Itemset("bc") == Itemset("abc")
+
+    def test_union_multiple(self):
+        assert Itemset("a").union(Itemset("b"), ["c"]) == Itemset("abc")
+
+    def test_intersection(self):
+        assert Itemset("ab") & Itemset("bc") == Itemset("b")
+
+    def test_difference(self):
+        assert Itemset("abc") - Itemset("b") == Itemset("ac")
+
+    def test_symmetric_difference(self):
+        assert Itemset("ab") ^ Itemset("bc") == Itemset("ac")
+
+    def test_add_returns_new_itemset(self):
+        base = Itemset("ab")
+        extended = base.add("c")
+        assert extended == Itemset("abc")
+        assert base == Itemset("ab")
+
+    def test_add_existing_item_is_identity(self):
+        base = Itemset("ab")
+        assert base.add("a") is base
+
+    def test_remove(self):
+        assert Itemset("abc").remove("b") == Itemset("ac")
+
+    def test_remove_missing_item_is_identity(self):
+        base = Itemset("ab")
+        assert base.remove("z") is base
+
+    def test_operations_accept_plain_iterables(self):
+        assert Itemset("ab").union(["c"]) == Itemset("abc")
+        assert Itemset("ab").difference("a") == Itemset("b")
+
+
+class TestSubsetRelations:
+    def test_issubset(self):
+        assert Itemset("ab").issubset(Itemset("abc"))
+        assert not Itemset("ad").issubset(Itemset("abc"))
+
+    def test_issuperset(self):
+        assert Itemset("abc").issuperset(Itemset("ab"))
+
+    def test_proper_subset_excludes_equality(self):
+        assert Itemset("ab").is_proper_subset(Itemset("abc"))
+        assert not Itemset("ab").is_proper_subset(Itemset("ab"))
+
+    def test_proper_superset(self):
+        assert Itemset("abc").is_proper_superset(Itemset("ab"))
+        assert not Itemset("abc").is_proper_superset(Itemset("abc"))
+
+    def test_isdisjoint(self):
+        assert Itemset("ab").isdisjoint(Itemset("cd"))
+        assert not Itemset("ab").isdisjoint(Itemset("bc"))
+
+    def test_empty_is_subset_of_everything(self):
+        assert Itemset().issubset(Itemset("a"))
+        assert Itemset().issubset(Itemset())
+
+
+class TestEnumerationHelpers:
+    def test_subsets_of_size(self):
+        pairs = list(Itemset("abc").subsets_of_size(2))
+        assert pairs == [Itemset("ab"), Itemset("ac"), Itemset("bc")]
+
+    def test_subsets_of_size_out_of_range(self):
+        assert list(Itemset("ab").subsets_of_size(5)) == []
+        assert list(Itemset("ab").subsets_of_size(-1)) == []
+
+    def test_immediate_subsets(self):
+        assert list(Itemset("abc").immediate_subsets()) == [
+            Itemset("bc"),
+            Itemset("ac"),
+            Itemset("ab"),
+        ]
+
+    def test_proper_subsets_count(self):
+        assert len(list(Itemset("abc").proper_subsets())) == 7
+
+    def test_nonempty_proper_subsets_count(self):
+        assert len(list(Itemset("abc").nonempty_proper_subsets())) == 6
+
+    def test_powerset_size(self):
+        assert len(list(powerset(Itemset("abcd")))) == 16
+
+    def test_powerset_order_is_by_size(self):
+        sizes = [len(s) for s in powerset(Itemset("abc"))]
+        assert sizes == sorted(sizes)
+
+    def test_proper_nonempty_subsets_helper(self):
+        subsets = list(proper_nonempty_subsets("abc"))
+        assert Itemset() not in subsets
+        assert Itemset("abc") not in subsets
+        assert len(subsets) == 6
+
+
+class TestDisplay:
+    def test_repr_round_trips_through_eval(self):
+        value = Itemset("ba")
+        assert eval(repr(value)) == value  # noqa: S307 - controlled input
+
+    def test_str_of_empty(self):
+        assert str(Itemset()) == "{}"
+
+    def test_str_is_sorted(self):
+        assert str(Itemset("cba")) == "{a, b, c}"
+
+    def test_as_frozenset(self):
+        assert Itemset("ab").as_frozenset() == frozenset({"a", "b"})

@@ -1,0 +1,126 @@
+"""Tests for the Luxenburger basis of approximate rules (Theorem 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Apriori, Close, LuxenburgerBasis, build_luxenburger_basis
+from repro.algorithms.rule_generation import generate_approximate_rules
+from repro.core.itemset import Itemset
+from repro.errors import InvalidParameterError
+
+
+class TestToyBasis:
+    def test_reduced_basis_rules(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0, transitive_reduction=True)
+        keys = {(rule.antecedent, rule.consequent) for rule in basis}
+        assert keys == {
+            (Itemset("c"), Itemset("a")),
+            (Itemset("c"), Itemset("be")),
+            (Itemset("be"), Itemset("c")),
+            (Itemset("ac"), Itemset("be")),
+            (Itemset("bce"), Itemset("a")),
+        }
+
+    def test_full_basis_adds_transitive_rules(self, toy_closed):
+        full = LuxenburgerBasis(toy_closed, minconf=0.0, transitive_reduction=False)
+        reduced = LuxenburgerBasis(toy_closed, minconf=0.0, transitive_reduction=True)
+        assert len(full) == 7
+        assert len(reduced) == 5
+        assert reduced.rules.keys() <= full.rules.keys()
+        assert (Itemset("c"), Itemset("abe")) in full.rules.keys()
+
+    def test_rule_statistics_match_the_database(self, toy_db, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        for rule in basis:
+            union = rule.antecedent.union(rule.consequent)
+            assert rule.support == pytest.approx(toy_db.support(union))
+            assert rule.confidence == pytest.approx(
+                toy_db.support_count(union) / toy_db.support_count(rule.antecedent)
+            )
+
+    def test_rules_connect_closed_itemsets_only(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        for rule in basis:
+            assert rule.antecedent in toy_closed
+            assert rule.antecedent.union(rule.consequent) in toy_closed
+
+    def test_minconf_filters_rules(self, toy_closed):
+        loose = LuxenburgerBasis(toy_closed, minconf=0.0)
+        tight = LuxenburgerBasis(toy_closed, minconf=0.7)
+        assert len(tight) < len(loose)
+        assert all(rule.confidence >= 0.7 for rule in tight)
+
+    def test_no_exact_rules_in_the_basis(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        assert all(rule.is_approximate for rule in basis)
+
+    def test_reduced_rules_are_exactly_the_hasse_edges(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0, transitive_reduction=True)
+        edges = set(basis.lattice.hasse_edges())
+        keys = {
+            (rule.antecedent, rule.antecedent.union(rule.consequent)) for rule in basis
+        }
+        assert keys == edges
+
+    def test_invalid_minconf_rejected(self, toy_closed):
+        with pytest.raises(InvalidParameterError):
+            LuxenburgerBasis(toy_closed, minconf=1.5)
+
+    def test_builder_helper(self, toy_closed):
+        basis = build_luxenburger_basis(toy_closed, minconf=0.5)
+        assert basis.is_transitive_reduction
+        assert basis.minconf == 0.5
+
+
+class TestConfidencePaths:
+    def test_edge_confidence_lookup(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        assert basis.edge_confidence(Itemset("c"), Itemset("ac")) == pytest.approx(0.75)
+        # (c, abce) is a comparable pair but not a Hasse edge of the
+        # reduced basis, so there is no direct rule for it.
+        assert basis.edge_confidence(Itemset("c"), Itemset("abce")) is None
+
+    def test_path_confidence_equals_support_ratio(self, toy_db, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        value = basis.path_confidence(Itemset("c"), Itemset("abce"))
+        assert value == pytest.approx(
+            toy_db.support_count(Itemset("abce")) / toy_db.support_count(Itemset("c"))
+        )
+
+    def test_path_confidence_identity(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        assert basis.path_confidence(Itemset("c"), Itemset("c")) == 1.0
+
+    def test_path_confidence_incomparable_is_none(self, toy_closed):
+        basis = LuxenburgerBasis(toy_closed, minconf=0.0)
+        assert basis.path_confidence(Itemset("ac"), Itemset("be")) is None
+
+    @pytest.mark.parametrize("minsup", [0.2, 0.4])
+    def test_path_confidence_matches_supports_on_random_databases(
+        self, random_db, minsup
+    ):
+        closed = Close(minsup).mine(random_db)
+        basis = LuxenburgerBasis(closed, minconf=0.0)
+        members = closed.itemsets()
+        for smaller in members:
+            for larger in members:
+                if smaller.is_proper_subset(larger):
+                    assert basis.path_confidence(smaller, larger) == pytest.approx(
+                        closed.support_count(larger) / closed.support_count(smaller)
+                    )
+
+
+class TestGeneratingSetProperty:
+    @pytest.mark.parametrize("minconf", [0.3, 0.5, 0.7])
+    def test_every_approximate_rule_between_closed_sets_is_in_the_full_basis(
+        self, random_db, minconf
+    ):
+        minsup = 0.2
+        frequent = Apriori(minsup).mine(random_db)
+        closed = Close(minsup).mine(random_db)
+        full = LuxenburgerBasis(closed, minconf=minconf, transitive_reduction=False)
+        approximate = generate_approximate_rules(frequent, minconf=minconf)
+        for rule in approximate:
+            if rule.antecedent in closed and rule.itemset in closed:
+                assert rule in full.rules

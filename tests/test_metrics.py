@@ -1,0 +1,102 @@
+"""Tests for the interestingness measures."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    RuleMetrics,
+    confidence,
+    conviction,
+    cosine,
+    jaccard,
+    leverage,
+    lift,
+    rule_metrics,
+)
+from repro.core.itemset import Itemset
+from repro.core.rules import AssociationRule
+from repro.errors import InvalidParameterError
+
+
+class TestScalarMeasures:
+    def test_confidence(self):
+        assert confidence(0.4, 0.8) == pytest.approx(0.5)
+        assert confidence(0.0, 0.0) == 0.0
+
+    def test_confidence_rejects_non_probabilities(self):
+        with pytest.raises(InvalidParameterError):
+            confidence(1.4, 0.5)
+
+    def test_lift_at_independence_is_one(self):
+        assert lift(0.25, 0.5, 0.5) == pytest.approx(1.0)
+
+    def test_lift_above_and_below_independence(self):
+        assert lift(0.4, 0.5, 0.5) > 1.0
+        assert lift(0.1, 0.5, 0.5) < 1.0
+        assert lift(0.1, 0.5, 0.0) == 0.0
+
+    def test_leverage_at_independence_is_zero(self):
+        assert leverage(0.25, 0.5, 0.5) == pytest.approx(0.0)
+        assert leverage(0.4, 0.5, 0.5) == pytest.approx(0.15)
+
+    def test_conviction(self):
+        assert conviction(0.4, 0.5, 0.5) == pytest.approx(0.5 / 0.2)
+        assert conviction(0.25, 0.5, 0.5) == pytest.approx(1.0)
+        assert math.isinf(conviction(0.5, 0.5, 0.7))
+
+    def test_jaccard(self):
+        assert jaccard(0.2, 0.5, 0.4) == pytest.approx(0.2 / 0.7)
+        assert jaccard(0.0, 0.0, 0.0) == 0.0
+
+    def test_cosine(self):
+        assert cosine(0.2, 0.4, 0.4) == pytest.approx(0.5)
+        assert cosine(0.2, 0.0, 0.4) == 0.0
+
+
+class TestRuleMetrics:
+    @pytest.fixture()
+    def supports(self, toy_db):
+        return lambda itemset: toy_db.support(itemset)
+
+    def test_metrics_of_a_toy_rule(self, toy_db, supports):
+        rule = AssociationRule(
+            Itemset("c"), Itemset("a"), support=toy_db.support(Itemset("ac")),
+            confidence=0.75,
+        )
+        metrics = RuleMetrics(rule, supports)
+        assert metrics.confidence == pytest.approx(0.75)
+        assert metrics.lift == pytest.approx(0.75 / 0.6)
+        assert metrics.leverage == pytest.approx(0.6 - 0.8 * 0.6)
+        assert metrics.jaccard == pytest.approx(0.6 / (0.8 + 0.6 - 0.6))
+
+    def test_exact_rule_has_infinite_conviction(self, toy_db, supports):
+        rule = AssociationRule(
+            Itemset("a"), Itemset("c"), support=0.6, confidence=1.0
+        )
+        metrics = RuleMetrics(rule, supports)
+        assert math.isinf(metrics.conviction)
+
+    def test_as_dict_contains_every_measure(self, toy_db, supports):
+        rule = AssociationRule(Itemset("b"), Itemset("c"), support=0.6, confidence=0.75)
+        payload = RuleMetrics(rule, supports).as_dict()
+        assert set(payload) == {
+            "support",
+            "confidence",
+            "lift",
+            "leverage",
+            "conviction",
+            "jaccard",
+            "cosine",
+        }
+
+    def test_rule_metrics_batch(self, toy_db, supports):
+        rules = [
+            AssociationRule(Itemset("c"), Itemset("a"), support=0.6, confidence=0.75),
+            AssociationRule(Itemset("a"), Itemset("c"), support=0.6, confidence=1.0),
+        ]
+        results = rule_metrics(rules, supports)
+        assert len(results) == 2
+        assert results[0].rule is rules[0]

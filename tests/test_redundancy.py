@@ -1,0 +1,142 @@
+"""Tests for the redundancy analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Apriori, Close, build_duquenne_guigues_basis
+from repro.algorithms.rule_generation import generate_all_rules, generate_exact_rules
+from repro.core.itemset import Itemset
+from repro.core.luxenburger import LuxenburgerBasis
+from repro.core.redundancy import (
+    ReductionReport,
+    implication_closure,
+    minimal_cover_check,
+    redundant_exact_rules,
+    reduction_report,
+)
+from repro.core.rules import AssociationRule, RuleSet
+
+
+def exact(antecedent, consequent, support=0.5):
+    return AssociationRule(
+        Itemset(antecedent), Itemset(consequent), support=support, confidence=1.0
+    )
+
+
+class TestImplicationClosure:
+    def test_single_application(self):
+        rules = RuleSet([exact("a", "b")])
+        assert implication_closure(Itemset("a"), rules) == Itemset("ab")
+
+    def test_chained_application(self):
+        rules = RuleSet([exact("a", "b"), exact("b", "c"), exact("cd", "e")])
+        assert implication_closure(Itemset("a"), rules) == Itemset("abc")
+        assert implication_closure(Itemset("ad"), rules) == Itemset("abcde")
+
+    def test_approximate_rules_are_ignored(self):
+        rules = RuleSet(
+            [AssociationRule(Itemset("a"), Itemset("b"), support=0.5, confidence=0.5)]
+        )
+        assert implication_closure(Itemset("a"), rules) == Itemset("a")
+
+    def test_fixpoint_of_unrelated_itemset(self):
+        rules = RuleSet([exact("a", "b")])
+        assert implication_closure(Itemset("z"), rules) == Itemset("z")
+
+
+class TestRedundantExactRules:
+    def test_transitive_rule_is_redundant(self):
+        rules = RuleSet([exact("a", "b"), exact("b", "c"), exact("a", "c")])
+        redundant = redundant_exact_rules(rules)
+        assert redundant.keys() == {(Itemset("a"), Itemset("c"))}
+
+    def test_no_redundancy_in_a_minimal_set(self):
+        rules = RuleSet([exact("a", "b"), exact("c", "d")])
+        assert len(redundant_exact_rules(rules)) == 0
+
+    def test_most_naive_exact_rules_are_redundant_on_the_toy_context(
+        self, toy_frequent
+    ):
+        naive = generate_exact_rules(toy_frequent)
+        redundant = redundant_exact_rules(naive)
+        assert len(redundant) > len(naive) / 2
+
+
+class TestReductionReport:
+    @pytest.fixture()
+    def report(self, toy_db, toy_frequent, toy_closed) -> ReductionReport:
+        minconf = 0.5
+        all_rules = generate_all_rules(toy_frequent, minconf=minconf)
+        dg = build_duquenne_guigues_basis(toy_frequent, toy_closed)
+        full = LuxenburgerBasis(toy_closed, minconf=minconf, transitive_reduction=False)
+        reduced = LuxenburgerBasis(toy_closed, minconf=minconf)
+        return reduction_report(
+            dataset="toy",
+            minsup=0.4,
+            minconf=minconf,
+            all_exact=all_rules.exact_rules(),
+            dg_basis=dg,
+            all_approximate=all_rules.approximate_rules(),
+            luxenburger_full=full.rules,
+            luxenburger_reduced=reduced.rules,
+        )
+
+    def test_counts(self, report):
+        assert report.all_rules == 50
+        assert report.all_exact_rules + report.all_approximate_rules == 50
+        assert report.dg_basis_size == 3
+        assert report.luxenburger_reduced_size <= report.luxenburger_full_size
+
+    def test_reduction_factors(self, report):
+        assert report.exact_reduction_factor == pytest.approx(
+            report.all_exact_rules / report.dg_basis_size
+        )
+        assert report.total_reduction_factor > 1.0
+        assert report.bases_total == report.dg_basis_size + report.luxenburger_reduced_size
+
+    def test_zero_division_guards(self):
+        empty = ReductionReport(
+            dataset="empty",
+            minsup=0.5,
+            minconf=0.5,
+            all_exact_rules=0,
+            dg_basis_size=0,
+            all_approximate_rules=0,
+            luxenburger_full_size=0,
+            luxenburger_reduced_size=0,
+        )
+        assert empty.exact_reduction_factor == 1.0
+        assert empty.approximate_reduction_factor == 1.0
+        assert empty.total_reduction_factor == 1.0
+
+    def test_infinite_factor_when_basis_is_empty_but_rules_exist(self):
+        report = ReductionReport(
+            dataset="x",
+            minsup=0.5,
+            minconf=0.5,
+            all_exact_rules=10,
+            dg_basis_size=0,
+            all_approximate_rules=0,
+            luxenburger_full_size=0,
+            luxenburger_reduced_size=0,
+        )
+        assert report.exact_reduction_factor == float("inf")
+
+
+class TestMinimalCoverCheck:
+    def test_all_rules_derivable(self, toy_db, toy_frequent, toy_closed):
+        dg = build_duquenne_guigues_basis(toy_frequent, toy_closed)
+        naive = generate_exact_rules(toy_frequent)
+        missing = minimal_cover_check(dg.rules, naive, dg.derives)
+        assert missing == []
+
+    def test_missing_rules_are_reported(self):
+        basis = RuleSet([exact("a", "b")])
+        target = RuleSet([exact("a", "b"), exact("c", "d")])
+
+        def derive(antecedent, consequent):
+            return consequent.issubset(implication_closure(antecedent, basis))
+
+        missing = minimal_cover_check(basis, target, derive)
+        assert [rule.key() for rule in missing] == [(Itemset("c"), Itemset("d"))]

@@ -1,0 +1,104 @@
+"""Tests for the classical all-valid-rules generation (the baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Apriori
+from repro.algorithms.rule_generation import (
+    generate_all_rules,
+    generate_approximate_rules,
+    generate_exact_rules,
+)
+from repro.core.itemset import Itemset
+from repro.errors import InvalidParameterError
+
+
+class TestGenerateAllRules:
+    def test_toy_rule_count_at_half_confidence(self, toy_frequent):
+        assert len(generate_all_rules(toy_frequent, minconf=0.5)) == 50
+
+    def test_every_rule_is_valid(self, toy_db, toy_frequent):
+        rules = generate_all_rules(toy_frequent, minconf=0.6)
+        assert rules
+        for rule in rules:
+            union = rule.antecedent.union(rule.consequent)
+            expected_support = toy_db.support(union)
+            expected_confidence = toy_db.support_count(union) / toy_db.support_count(
+                rule.antecedent
+            )
+            assert rule.support == pytest.approx(expected_support)
+            assert rule.confidence == pytest.approx(expected_confidence)
+            assert rule.confidence >= 0.6
+
+    def test_rule_sides_are_nonempty_and_disjoint(self, toy_frequent):
+        for rule in generate_all_rules(toy_frequent, minconf=0.0):
+            assert rule.antecedent
+            assert rule.consequent
+            assert rule.antecedent.isdisjoint(rule.consequent)
+
+    def test_monotone_in_minconf(self, toy_frequent):
+        sizes = [
+            len(generate_all_rules(toy_frequent, minconf=c))
+            for c in (0.0, 0.5, 0.7, 0.9, 1.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_exhaustive_against_manual_enumeration(self, toy_db, toy_frequent):
+        expected = set()
+        for itemset in toy_frequent:
+            if len(itemset) < 2:
+                continue
+            for antecedent in itemset.nonempty_proper_subsets():
+                confidence = toy_db.support_count(itemset) / toy_db.support_count(
+                    antecedent
+                )
+                if confidence >= 0.7:
+                    expected.add((antecedent, itemset.difference(antecedent)))
+        rules = generate_all_rules(toy_frequent, minconf=0.7)
+        assert rules.keys() == expected
+
+    def test_minconf_validation(self, toy_frequent):
+        with pytest.raises(InvalidParameterError):
+            generate_all_rules(toy_frequent, minconf=1.5)
+
+    def test_min_rule_size_parameter(self, toy_frequent):
+        rules = generate_all_rules(toy_frequent, minconf=0.5, min_rule_size=3)
+        assert all(len(rule.itemset) >= 3 for rule in rules)
+
+
+class TestExactAndApproximateSplits:
+    def test_exact_rules_have_confidence_one(self, toy_frequent):
+        exact = generate_exact_rules(toy_frequent)
+        assert exact
+        assert all(rule.is_exact for rule in exact)
+
+    def test_toy_exact_rules_are_the_known_ones(self, toy_frequent):
+        exact = generate_exact_rules(toy_frequent)
+        # Spot-check the classic implications of the toy context.
+        assert exact.get(Itemset("a"), Itemset("c")) is not None
+        assert exact.get(Itemset("b"), Itemset("e")) is not None
+        assert exact.get(Itemset("ab"), Itemset("ce")) is not None
+        assert exact.get(Itemset("c"), Itemset("a")) is None
+
+    def test_approximate_rules_exclude_exact_ones(self, toy_frequent):
+        approximate = generate_approximate_rules(toy_frequent, minconf=0.5)
+        assert approximate
+        assert all(rule.confidence < 1.0 for rule in approximate)
+
+    def test_partition_covers_all_rules(self, toy_frequent):
+        minconf = 0.5
+        all_rules = generate_all_rules(toy_frequent, minconf=minconf)
+        exact = generate_exact_rules(toy_frequent)
+        approximate = generate_approximate_rules(toy_frequent, minconf=minconf)
+        assert len(all_rules) == len(exact) + len(approximate)
+        assert exact.union(approximate).same_rules(all_rules)
+
+    def test_rule_counts_on_dense_smoke_data(self, dense_smoke_db):
+        frequent = Apriori(minsup=0.3).mine(dense_smoke_db)
+        all_rules = generate_all_rules(frequent, minconf=0.7)
+        exact = generate_exact_rules(frequent)
+        # Dense correlated data must produce a non-trivial number of exact
+        # rules — that is the redundancy the paper is about.
+        assert len(exact) > 10
+        assert len(all_rules) > len(exact)

@@ -1,0 +1,163 @@
+"""Unit tests for :class:`AssociationRule` and :class:`RuleSet`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.itemset import Itemset
+from repro.core.rules import AssociationRule, RuleSet
+from repro.errors import InconsistentRuleError
+
+
+def rule(antecedent: str, consequent: str, support=0.4, confidence=0.8):
+    return AssociationRule(
+        Itemset(antecedent), Itemset(consequent), support=support, confidence=confidence
+    )
+
+
+class TestAssociationRule:
+    def test_basic_attributes(self):
+        r = rule("a", "bc", support=0.4, confidence=2 / 3)
+        assert r.antecedent == Itemset("a")
+        assert r.consequent == Itemset("bc")
+        assert r.itemset == Itemset("abc")
+        assert r.support == pytest.approx(0.4)
+        assert r.confidence == pytest.approx(2 / 3)
+
+    def test_exact_and_approximate_flags(self):
+        assert rule("a", "b", confidence=1.0).is_exact
+        assert not rule("a", "b", confidence=0.9).is_exact
+        assert rule("a", "b", confidence=0.9).is_approximate
+
+    def test_antecedent_support_is_recovered(self):
+        r = rule("a", "b", support=0.4, confidence=0.5)
+        assert r.antecedent_support() == pytest.approx(0.8)
+
+    def test_empty_antecedent_is_allowed(self):
+        r = AssociationRule(Itemset(), Itemset("x"), support=1.0, confidence=1.0)
+        assert r.antecedent == Itemset()
+
+    def test_empty_consequent_is_rejected(self):
+        with pytest.raises(InconsistentRuleError):
+            AssociationRule(Itemset("a"), Itemset(), support=0.5, confidence=0.5)
+
+    def test_overlapping_sides_are_rejected(self):
+        with pytest.raises(InconsistentRuleError):
+            AssociationRule(Itemset("ab"), Itemset("bc"), support=0.5, confidence=0.5)
+
+    def test_out_of_range_support_is_rejected(self):
+        with pytest.raises(InconsistentRuleError):
+            rule("a", "b", support=1.5)
+        with pytest.raises(InconsistentRuleError):
+            rule("a", "b", support=-0.1)
+
+    def test_out_of_range_confidence_is_rejected(self):
+        with pytest.raises(InconsistentRuleError):
+            rule("a", "b", confidence=0.0)
+        with pytest.raises(InconsistentRuleError):
+            rule("a", "b", confidence=1.5)
+
+    def test_equality_ignores_statistics(self):
+        assert rule("a", "b", confidence=0.5) == rule("a", "b", confidence=0.9)
+        assert hash(rule("a", "b")) == hash(rule("a", "b", confidence=0.9))
+
+    def test_inequality_on_different_sides(self):
+        assert rule("a", "b") != rule("a", "c")
+        assert rule("a", "b") != rule("b", "a")
+
+    def test_same_statistics(self):
+        assert rule("a", "b", 0.4, 0.8).same_statistics(rule("a", "b", 0.4, 0.8))
+        assert not rule("a", "b", 0.4, 0.8).same_statistics(rule("a", "b", 0.4, 0.81))
+
+    def test_ordering_is_deterministic(self):
+        rules = [rule("b", "c"), rule("a", "c"), rule("a", "b")]
+        assert sorted(rules) == [rule("a", "b"), rule("a", "c"), rule("b", "c")]
+
+    def test_str_formats_both_sides(self):
+        text = str(rule("a", "bc", support=0.25, confidence=0.5))
+        assert "{a} -> {b, c}" in text
+        assert "0.250" in text and "0.500" in text
+
+    def test_support_count_is_optional(self):
+        r = AssociationRule(Itemset("a"), Itemset("b"), 0.5, 0.5, support_count=10)
+        assert r.support_count == 10
+        assert rule("a", "b").support_count is None
+
+
+class TestRuleSet:
+    def test_add_and_len(self):
+        rules = RuleSet()
+        assert rules.add(rule("a", "b"))
+        assert not rules.add(rule("a", "b", confidence=0.9))  # duplicate key
+        assert len(rules) == 1
+
+    def test_update_counts_new_rules(self):
+        rules = RuleSet([rule("a", "b")])
+        added = rules.update([rule("a", "b"), rule("a", "c")])
+        assert added == 1
+        assert len(rules) == 2
+
+    def test_contains_rule_and_key(self):
+        rules = RuleSet([rule("a", "b")])
+        assert rule("a", "b") in rules
+        assert (Itemset("a"), Itemset("b")) in rules
+        assert rule("a", "c") not in rules
+
+    def test_get(self):
+        rules = RuleSet([rule("a", "b", confidence=0.75)])
+        found = rules.get(Itemset("a"), Itemset("b"))
+        assert found is not None and found.confidence == pytest.approx(0.75)
+        assert rules.get(Itemset("a"), Itemset("c")) is None
+
+    def test_discard(self):
+        rules = RuleSet([rule("a", "b")])
+        assert rules.discard(rule("a", "b"))
+        assert not rules.discard(rule("a", "b"))
+        assert len(rules) == 0
+
+    def test_exact_and_approximate_partitions(self):
+        rules = RuleSet([rule("a", "b", confidence=1.0), rule("a", "c", confidence=0.5)])
+        assert len(rules.exact_rules()) == 1
+        assert len(rules.approximate_rules()) == 1
+        assert rules.count_exact() == 1
+        assert rules.count_approximate() == 1
+
+    def test_confidence_and_support_filters(self):
+        rules = RuleSet(
+            [rule("a", "b", 0.5, 0.9), rule("a", "c", 0.2, 0.6), rule("b", "c", 0.1, 0.95)]
+        )
+        assert len(rules.with_min_confidence(0.9)) == 2
+        assert len(rules.with_min_support(0.2)) == 2
+
+    def test_set_operations(self):
+        first = RuleSet([rule("a", "b"), rule("a", "c")])
+        second = RuleSet([rule("a", "c"), rule("b", "c")])
+        assert len(first.union(second)) == 3
+        assert first.difference(second).keys() == {(Itemset("a"), Itemset("b"))}
+        assert first.intersection(second).keys() == {(Itemset("a"), Itemset("c"))}
+
+    def test_same_rules_and_statistics(self):
+        first = RuleSet([rule("a", "b", 0.4, 0.8)])
+        same = RuleSet([rule("a", "b", 0.4, 0.8)])
+        different_stats = RuleSet([rule("a", "b", 0.4, 0.7)])
+        assert first.same_rules(different_stats)
+        assert first.same_rules_and_statistics(same)
+        assert not first.same_rules_and_statistics(different_stats)
+
+    def test_sorted_rules(self):
+        rules = RuleSet([rule("b", "c"), rule("a", "b")])
+        assert [r.key() for r in rules.sorted_rules()] == [
+            (Itemset("a"), Itemset("b")),
+            (Itemset("b"), Itemset("c")),
+        ]
+
+    def test_averages_on_empty_set(self):
+        empty = RuleSet()
+        assert empty.average_confidence() == 0.0
+        assert empty.average_support() == 0.0
+        assert not empty
+
+    def test_averages(self):
+        rules = RuleSet([rule("a", "b", 0.4, 0.8), rule("a", "c", 0.2, 0.6)])
+        assert rules.average_support() == pytest.approx(0.3)
+        assert rules.average_confidence() == pytest.approx(0.7)

@@ -1,0 +1,71 @@
+"""Tests for the sampling / splitting utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.sampling import bootstrap_objects, sample_objects, split_objects
+from repro.errors import InvalidParameterError
+
+
+class TestSampleObjects:
+    def test_sample_size_and_item_universe(self, dense_smoke_db):
+        sample = sample_objects(dense_smoke_db, 30, seed=1)
+        assert sample.n_objects == 30
+        assert sample.items == dense_smoke_db.items
+        assert "sample30" in sample.name
+
+    def test_sampling_is_deterministic(self, dense_smoke_db):
+        first = sample_objects(dense_smoke_db, 25, seed=3)
+        second = sample_objects(dense_smoke_db, 25, seed=3)
+        assert first.transactions() == second.transactions()
+
+    def test_sampling_whole_database_returns_it_unchanged(self, toy_db):
+        assert sample_objects(toy_db, 10, seed=0) is toy_db
+
+    def test_sampled_transactions_come_from_the_original(self, toy_db):
+        sample = sample_objects(toy_db, 3, seed=5)
+        original = set(toy_db.transactions())
+        assert all(row in original for row in sample)
+
+    def test_invalid_size(self, toy_db):
+        with pytest.raises(InvalidParameterError):
+            sample_objects(toy_db, 0)
+
+
+class TestSplitObjects:
+    def test_split_sizes_and_disjointness(self, dense_smoke_db):
+        first, second = split_objects(dense_smoke_db, 0.25, seed=2)
+        assert first.n_objects + second.n_objects == dense_smoke_db.n_objects
+        assert first.n_objects == round(0.25 * dense_smoke_db.n_objects)
+        assert set(first.object_ids).isdisjoint(second.object_ids)
+
+    def test_split_preserves_item_universe(self, dense_smoke_db):
+        first, second = split_objects(dense_smoke_db, 0.5, seed=2)
+        assert first.items == dense_smoke_db.items
+        assert second.items == dense_smoke_db.items
+
+    def test_invalid_fraction(self, toy_db):
+        with pytest.raises(InvalidParameterError):
+            split_objects(toy_db, 0.0)
+        with pytest.raises(InvalidParameterError):
+            split_objects(toy_db, 1.0)
+
+
+class TestBootstrap:
+    def test_default_size_matches_original(self, toy_db):
+        resample = bootstrap_objects(toy_db, seed=1)
+        assert resample.n_objects == toy_db.n_objects
+
+    def test_explicit_size(self, toy_db):
+        assert bootstrap_objects(toy_db, n_objects=12, seed=1).n_objects == 12
+
+    def test_deterministic(self, toy_db):
+        assert (
+            bootstrap_objects(toy_db, seed=9).transactions()
+            == bootstrap_objects(toy_db, seed=9).transactions()
+        )
+
+    def test_invalid_size(self, toy_db):
+        with pytest.raises(InvalidParameterError):
+            bootstrap_objects(toy_db, n_objects=0)

@@ -1,0 +1,73 @@
+"""Tests for dataset statistics and itemset-count profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Apriori, Close
+from repro.analysis.statistics import dataset_statistics, itemset_count_profile
+
+
+class TestDatasetStatistics:
+    def test_toy_statistics(self, toy_db):
+        stats = dataset_statistics(toy_db)
+        assert stats.name == "toy"
+        assert stats.n_objects == 5
+        assert stats.n_items == 5
+        assert stats.avg_object_size == pytest.approx(16 / 5)
+        assert stats.max_object_size == 4
+        assert stats.density == pytest.approx(16 / 25)
+        assert stats.top_item_support == pytest.approx(0.8)
+
+    def test_as_dict_round_trips_the_columns(self, toy_db):
+        payload = dataset_statistics(toy_db).as_dict()
+        assert payload["dataset"] == "toy"
+        assert payload["objects"] == 5
+        assert set(payload) == {
+            "dataset",
+            "objects",
+            "items",
+            "avg_size",
+            "max_size",
+            "density",
+            "top_item_support",
+        }
+
+    def test_smoke_datasets_have_expected_shapes(self, dense_smoke_db, sparse_smoke_db):
+        dense = dataset_statistics(dense_smoke_db)
+        sparse = dataset_statistics(sparse_smoke_db)
+        # Dense categorical data: fixed row width equal to the attribute count.
+        assert dense.avg_object_size == pytest.approx(dense.max_object_size)
+        # Sparse basket data: variable-width transactions.
+        assert sparse.max_object_size > sparse.avg_object_size
+
+
+class TestItemsetCountProfile:
+    def test_toy_profile(self, toy_frequent, toy_closed):
+        profile = itemset_count_profile(toy_frequent, toy_closed)
+        assert profile["frequent_itemsets"] == 15
+        assert profile["closed_itemsets"] == 5
+        assert profile["ratio"] == pytest.approx(3.0)
+        assert profile["max_frequent_size"] == 4
+        assert profile["max_closed_size"] == 4
+        assert profile["frequent_by_size"] == {1: 4, 2: 6, 3: 4, 4: 1}
+        assert profile["closed_by_size"] == {1: 1, 2: 2, 3: 1, 4: 1}
+
+    def test_minsup_is_propagated(self, toy_frequent, toy_closed):
+        profile = itemset_count_profile(toy_frequent, toy_closed)
+        assert profile["minsup"] == pytest.approx(0.4)
+
+    def test_dense_data_has_high_ratio(self, dense_smoke_db):
+        frequent = Apriori(0.3).mine(dense_smoke_db)
+        closed = Close(0.3).mine(dense_smoke_db)
+        profile = itemset_count_profile(frequent, closed)
+        assert profile["ratio"] > 1.5
+
+    def test_empty_families(self, toy_db):
+        frequent = Apriori(1.0).mine(toy_db)
+        closed = Close(1.0).mine(toy_db)
+        profile = itemset_count_profile(frequent, closed)
+        assert profile["frequent_itemsets"] == 0
+        assert profile["closed_itemsets"] == 0
+        assert profile["ratio"] == 0.0
+        assert profile["median_closed_support"] == 0.0
