@@ -1,18 +1,29 @@
-"""Micro-benchmarks of the individual miners (multi-round timings).
+"""Micro-benchmarks of the individual miners and the closure engines.
 
 Unlike the table/figure benchmarks (run once because a full grid is
 expensive), these micro-benchmarks time a single mining task per
 algorithm with pytest-benchmark's normal statistics, which makes them the
 right place to watch for performance regressions of the library itself.
+
+The ``engine``-named benchmarks time the batch closure path of
+:mod:`repro.engine` on the dense Fig. 1 workload (MUSHROOM*): closing a
+whole 1k/10k-candidate level in one engine call versus the equivalent
+per-itemset closure loop.  CI's benchmark job records these with
+``--benchmark-json`` and ``scripts/check_bench_regression.py`` flags any
+engine benchmark that slows down more than 2x against the base branch.
 """
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro import AClose, Apriori, Charm, Close
+from repro.core.itemset import Itemset
 from repro.core.luxenburger import LuxenburgerBasis
 from repro.data.benchmarks_data import make_mushroom
+from repro.engine import make_engine
 from repro.experiments.harness import mine_itemsets
 
 MINSUP = 0.5
@@ -21,6 +32,15 @@ MINSUP = 0.5
 @pytest.fixture(scope="module")
 def mushroom():
     return make_mushroom()
+
+
+def make_candidates(database, n_candidates: int, seed: int = 42) -> list[Itemset]:
+    """Deterministic random candidate itemsets (sizes 2–4) over the context."""
+    rng = random.Random(seed)
+    return [
+        Itemset(rng.sample(database.items, rng.randint(2, 4)))
+        for _ in range(n_candidates)
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -45,3 +65,49 @@ def test_closure_computation(benchmark, mushroom):
     items = mushroom.items[:3]
     result = benchmark(lambda: mushroom.closure_and_support(items))
     assert result[1] >= 0
+
+
+# ----------------------------------------------------------------------
+# Engine microbenchmarks (gated by scripts/check_bench_regression.py)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_name", ["numpy", "bitset"])
+@pytest.mark.parametrize("n_candidates", [1_000, 10_000])
+def test_engine_batch_closures(benchmark, mushroom, engine_name, n_candidates):
+    """One batched closures_and_supports() call over a full candidate level."""
+    candidates = make_candidates(mushroom, n_candidates)
+    engine = make_engine(mushroom, engine_name, cache_size=0)
+    result = benchmark(lambda: engine.closures_and_supports(candidates))
+    assert len(result) == n_candidates
+
+
+def test_engine_per_itemset_closure_loop(benchmark, mushroom):
+    """The pre-batch baseline: one engine call per candidate, 1k candidates.
+
+    The ratio between this and ``test_engine_batch_closures[1000-numpy]``
+    is the batch speedup the engine subsystem exists for (>= 3x on this
+    dense workload).
+    """
+    candidates = make_candidates(mushroom, 1_000)
+    engine = make_engine(mushroom, "numpy", cache_size=0)
+    result = benchmark(
+        lambda: [engine.closure_and_support(candidate) for candidate in candidates]
+    )
+    assert len(result) == 1_000
+
+
+@pytest.mark.parametrize("engine_name", ["numpy", "bitset"])
+def test_engine_batch_supports(benchmark, mushroom, engine_name):
+    """Support-only batch counting of a 10k-candidate level."""
+    candidates = make_candidates(mushroom, 10_000)
+    engine = make_engine(mushroom, engine_name, cache_size=0)
+    result = benchmark(lambda: engine.supports(candidates))
+    assert len(result) == 10_000
+
+
+def test_engine_closure_cache_hit_rate(benchmark, mushroom):
+    """Repeated closure of a warm level: the LRU cache should answer."""
+    candidates = make_candidates(mushroom, 1_000)
+    engine = make_engine(mushroom, "numpy")
+    engine.closures(candidates)  # warm the cache
+    result = benchmark(lambda: engine.closures(candidates))
+    assert len(result) == 1_000

@@ -11,7 +11,7 @@ Run with:  python examples/census_rules.py
 
 from __future__ import annotations
 
-from repro import Apriori, Close
+from repro import Close
 from repro.core.informative import GenericBasis, InformativeBasis
 from repro.core.generators import GeneratorFamily
 from repro.data.benchmarks_data import make_census

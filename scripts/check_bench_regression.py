@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Compare two pytest-benchmark JSON files and flag engine regressions.
+
+Usage::
+
+    python scripts/check_bench_regression.py baseline.json current.json \
+        [--threshold 2.0] [--filter engine]
+
+Benchmarks are matched by their fully qualified name.  A benchmark whose
+mean time in *current* exceeds ``threshold`` × its mean in *baseline*
+counts as a regression; the script prints a per-benchmark table and exits
+non-zero when any matched benchmark regressed.  Only benchmarks whose
+name contains the ``--filter`` substring are gated (default: ``engine``,
+the engine microbenchmarks of ``bench_algorithms_micro.py``), because the
+table/figure reproductions are single-shot and too noisy to gate on.
+
+Benchmarks present in only one file are reported but never fail the
+check, so adding or renaming a benchmark does not break CI.  In CI this
+runs as an *advisory* step (``continue-on-error``): a red mark that
+reviewers see, not a merge blocker, until enough history exists to trust
+the runner's variance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Return ``benchmark fullname -> mean seconds`` from a benchmark JSON."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read benchmark file {path}: {exc}") from exc
+    means: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="benchmark JSON of the base ref")
+    parser.add_argument("current", type=Path, help="benchmark JSON of this change")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current mean > threshold x baseline mean (default: 2.0)",
+    )
+    parser.add_argument(
+        "--filter",
+        default="engine",
+        help="only gate benchmarks whose name contains this substring "
+        "(default: 'engine'; use '' to gate everything)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        # No baseline (e.g. the base ref predates the benchmark suite or
+        # its run failed): nothing to compare against, not a regression.
+        print(f"baseline file {args.baseline} not found; nothing to gate")
+        return 0
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+
+    gated = sorted(
+        name for name in baseline.keys() & current.keys() if args.filter in name
+    )
+    if not gated:
+        print(f"no common benchmarks match filter {args.filter!r}; nothing to gate")
+        return 0
+
+    regressions = []
+    width = max(len(name) for name in gated)
+    print(f"{'benchmark':<{width}}  {'base':>10}  {'current':>10}  ratio")
+    for name in gated:
+        ratio = current[name] / baseline[name]
+        flag = "  << REGRESSION" if ratio > args.threshold else ""
+        print(
+            f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
+            f"{current[name] * 1e3:>8.2f}ms  {ratio:5.2f}x{flag}"
+        )
+        if ratio > args.threshold:
+            regressions.append((name, ratio))
+
+    only_base = sorted(baseline.keys() - current.keys())
+    only_current = sorted(current.keys() - baseline.keys())
+    if only_base:
+        print(f"note: {len(only_base)} benchmark(s) only in baseline (ignored)")
+    if only_current:
+        print(f"note: {len(only_current)} benchmark(s) only in current (ignored)")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) slower than "
+            f"{args.threshold:.1f}x baseline:"
+        )
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print(f"\nok: no engine benchmark slower than {args.threshold:.1f}x baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ The package is organised in five sub-packages:
   itemsets, the Duquenne-Guigues and Luxenburger bases, rule derivation;
 * :mod:`repro.data` — the transaction-database substrate, dataset I/O and
   the synthetic dataset generators used by the experiments;
+* :mod:`repro.engine` — the batch closure engines (vectorised numpy and
+  vertical bitset backends) every algorithm evaluates covers/closures on;
 * :mod:`repro.algorithms` — Apriori (baseline), Close, A-Close and CHARM;
 * :mod:`repro.analysis` — interestingness metrics and dataset statistics;
 * :mod:`repro.experiments` — the harness regenerating every table and
@@ -51,6 +53,12 @@ from .core.pseudo_closed import PseudoClosedItemset, frequent_pseudo_closed_item
 from .core.rules import AssociationRule, RuleSet
 from .data.context import TransactionDatabase
 from .data.io import load_basket_file, load_tabular_file, save_basket_file
+from .engine import (
+    BitsetClosureEngine,
+    ClosureEngine,
+    NumpyClosureEngine,
+    make_engine,
+)
 from .data.synthetic import QuestGenerator, make_quest_dataset
 from .errors import (
     DatasetFormatError,
@@ -85,6 +93,11 @@ __all__ = [
     "GenericBasis",
     "InformativeBasis",
     "BasisDerivation",
+    # engines
+    "ClosureEngine",
+    "NumpyClosureEngine",
+    "BitsetClosureEngine",
+    "make_engine",
     # data
     "TransactionDatabase",
     "load_basket_file",

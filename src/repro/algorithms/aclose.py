@@ -57,14 +57,15 @@ class AClose(MiningAlgorithm):
 
     name = "A-Close"
 
-    def __init__(self, minsup: float) -> None:
-        super().__init__(minsup)
+    def __init__(self, minsup: float, engine: str | None = None) -> None:
+        super().__init__(minsup, engine=engine)
         self.generators: list[Itemset] = []
         self.generators_by_closure: dict[Itemset, list[Itemset]] = {}
 
     def _mine(
         self, database: TransactionDatabase, statistics: MiningStatistics
     ) -> ClosedItemsetFamily:
+        engine = self._engine(database)
         threshold = database.minsup_count(self._minsup)
         n_objects = database.n_objects
 
@@ -76,10 +77,9 @@ class AClose(MiningAlgorithm):
         statistics.database_passes += 1
         statistics.levels = 1
         level: dict[Itemset, int] = {}
-        for item in database.items:
-            statistics.candidates_generated += 1
-            candidate = Itemset.of(item)
-            count = database.support_count(candidate)
+        singles = [Itemset.of(item) for item in database.items]
+        statistics.candidates_generated += len(singles)
+        for candidate, count in zip(singles, engine.supports(singles)):
             # A single item is a minimal generator unless it appears in
             # every object (then its closure is already the closure of the
             # empty set); it is still useful to keep it so that its closed
@@ -95,9 +95,9 @@ class AClose(MiningAlgorithm):
             statistics.database_passes += 1
             statistics.levels += 1
             next_level: dict[Itemset, int] = {}
-            for candidate in candidates:
-                statistics.candidates_generated += 1
-                count = database.support_count(candidate)
+            # One batched support pass counts the whole candidate level.
+            statistics.candidates_generated += len(candidates)
+            for candidate, count in zip(candidates, engine.supports(candidates)):
                 if count < threshold:
                     continue
                 # Generator test: the support must be strictly smaller than
@@ -125,8 +125,10 @@ class AClose(MiningAlgorithm):
         statistics.database_passes += 1
         closed_supports: dict[Itemset, int] = {}
         generators_by_closure: dict[Itemset, list[Itemset]] = {}
-        for generator in sorted(generator_supports):
-            closure = database.closure(generator)
+        ordered_generators = sorted(generator_supports)
+        # The final closure pass is one batch over every retained generator.
+        closures = engine.closures(ordered_generators)
+        for generator, closure in zip(ordered_generators, closures):
             count = generator_supports[generator]
             previous = closed_supports.get(closure)
             if previous is None:

@@ -64,13 +64,14 @@ class Close(MiningAlgorithm):
 
     name = "Close"
 
-    def __init__(self, minsup: float) -> None:
-        super().__init__(minsup)
+    def __init__(self, minsup: float, engine: str | None = None) -> None:
+        super().__init__(minsup, engine=engine)
         self.generators_by_closure: dict[Itemset, list[Itemset]] = {}
 
     def _mine(
         self, database: TransactionDatabase, statistics: MiningStatistics
     ) -> ClosedItemsetFamily:
+        engine = self._engine(database)
         threshold = database.minsup_count(self._minsup)
         closed_supports: dict[Itemset, int] = {}
         generators_by_closure: dict[Itemset, list[Itemset]] = {}
@@ -84,9 +85,13 @@ class Close(MiningAlgorithm):
             statistics.database_passes += 1
             statistics.levels += 1
             survivors: list[Itemset] = []
-            for candidate in sorted(candidates):
-                statistics.candidates_generated += 1
-                closure, count = database.closure_and_support(candidate)
+            # The whole level is closed and counted in one vectorised
+            # engine pass — this batch is the paper's "one database scan
+            # per level" made literal.
+            level = sorted(candidates)
+            statistics.candidates_generated += len(level)
+            evaluated = engine.closures_and_supports(level)
+            for candidate, (closure, count) in zip(level, evaluated):
                 if count < threshold:
                     continue
                 survivors.append(candidate)

@@ -21,7 +21,6 @@ no database access is needed.
 from __future__ import annotations
 
 from ..core.families import ItemsetFamily
-from ..core.itemset import Itemset
 from ..core.rules import AssociationRule, RuleSet
 from ..errors import InvalidParameterError
 

@@ -11,7 +11,9 @@ Section 2 of the paper defines, for a mining context ``D = (O, I, R)``:
 :class:`~repro.data.context.TransactionDatabase` and adds the classical
 derived notions: formal concepts, closed itemsets and the closure system.
 The heavy lifting (cover computation, intersection of transactions) is
-delegated to the database, which owns the bit-level representation.
+delegated to the closure engines of :mod:`repro.engine` through the
+database, including batch variants that close or count many itemsets in
+one vectorised pass.
 """
 
 from __future__ import annotations
@@ -64,6 +66,24 @@ class GaloisConnection:
     def itemset_closure(self, items: Itemset | Iterable[Item]) -> Itemset:
         """``h(X) = f(g(X))``: the Galois closure of an itemset."""
         return self._db.closure(items)
+
+    def itemset_closures(
+        self, itemsets: Iterable[Itemset | Iterable[Item]]
+    ) -> list[Itemset]:
+        """Batch ``h(X)`` over many itemsets in one engine pass."""
+        return self._db.closures(itemsets)
+
+    def itemset_supports(
+        self, itemsets: Iterable[Itemset | Iterable[Item]]
+    ) -> list[int]:
+        """Batch ``|g(X)|`` over many itemsets in one engine pass."""
+        return self._db.supports(itemsets)
+
+    def itemset_extents(
+        self, itemsets: Iterable[Itemset | Iterable[Item]]
+    ) -> list[frozenset[int]]:
+        """Batch ``g(X)`` over many itemsets in one engine pass."""
+        return self._db.extents(itemsets)
 
     def objectset_closure(self, objects: Iterable[int]) -> frozenset[int]:
         """``g(f(T))``: the Galois closure of a set of objects."""

@@ -27,9 +27,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..errors import InvalidParameterError
-from .families import ClosedItemsetFamily
 from .generators import GeneratorFamily
-from .itemset import Itemset
 from .lattice import IcebergLattice
 from .rules import AssociationRule, RuleSet
 

@@ -15,7 +15,7 @@ in between); node attributes carry the support counts.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterator
 
 import networkx as nx
 

@@ -18,31 +18,32 @@ The closure operator ``h = f ∘ g`` of the paper is exposed as
 
 Implementation
 --------------
-The relation is stored as a dense boolean numpy matrix (objects × items)
-plus one integer-bitset column per item.  The matrix gives vectorised
-cover/closure computations; the per-item bitsets (arbitrary-precision
-Python integers, one bit per object) give extremely fast tidset
-intersections for the vertical algorithms (CHARM) and for support
-counting of small itemsets.  Both views are built once at construction
-time and are immutable afterwards.
+The relation is stored as a dense boolean numpy matrix (objects × items);
+the derived views and all closure/support evaluation live in the engines
+of :mod:`repro.engine`.  ``TransactionDatabase.engine(name)`` returns the
+lazily built engine of this context (``"numpy"`` — vectorised dense
+batches, the default — or ``"bitset"`` — per-item integer tidsets, the
+representation CHARM and Apriori consume).  The single-itemset methods
+below (:meth:`cover`, :meth:`closure`, :meth:`support_count`, …) are thin
+wrappers over the default engine so existing callers keep working while
+level-wise miners hand whole candidate batches to the engine directly.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..core.itemset import Item, Itemset
+from ..engine.bitops import iter_bits
 from ..errors import EmptyDatabaseError, InvalidItemsetError, InvalidParameterError
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ClosureEngine
+
 __all__ = ["TransactionDatabase"]
-
-
-def _popcount(bits: int) -> int:
-    """Number of set bits of an arbitrary-precision integer bitset."""
-    return bits.bit_count()
 
 
 class TransactionDatabase:
@@ -64,6 +65,9 @@ class TransactionDatabase:
         Optional identifiers for the objects.  Defaults to ``0..n-1``.
     name:
         Optional human-readable dataset name used by reports.
+    engine:
+        Name of the default closure engine (``"numpy"`` or ``"bitset"``)
+        used by the single-itemset wrappers; see :mod:`repro.engine`.
 
     Examples
     --------
@@ -84,6 +88,7 @@ class TransactionDatabase:
         item_order: Sequence[Item] | None = None,
         object_ids: Sequence[Any] | None = None,
         name: str | None = None,
+        engine: str | None = None,
     ) -> None:
         rows: list[frozenset] = [frozenset(t) for t in transactions]
         self._name = name or "unnamed"
@@ -124,17 +129,13 @@ class TransactionDatabase:
         matrix.setflags(write=False)
         self._matrix = matrix
 
-        # Per-item bitsets: bit t of _item_bits[i] is set iff object t has item i.
-        item_bits: list[int] = []
-        for c in range(n_cols):
-            bits = 0
-            for r in np.flatnonzero(matrix[:, c]):
-                bits |= 1 << int(r)
-            item_bits.append(bits)
-        self._item_bits: tuple[int, ...] = tuple(item_bits)
-        self._all_objects_bits: int = (1 << n_rows) - 1 if n_rows else 0
-
         self._row_itemsets: tuple[Itemset, ...] = tuple(Itemset(row) for row in rows)
+
+        # Engines (and their bitset/float views) are built lazily on first use.
+        from ..engine import resolve_engine_name
+
+        self._default_engine: str = resolve_engine_name(engine)
+        self._engines: dict[str, "ClosureEngine"] = {}
 
     # ------------------------------------------------------------------
     # Alternative constructors
@@ -218,6 +219,51 @@ class TransactionDatabase:
         """The full item universe as an :class:`Itemset`."""
         return Itemset(self._items)
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """The dense boolean object × item matrix (read-only view).
+
+        The array is write-locked; engines build their derived views from
+        it without copying.  Use :meth:`to_binary_matrix` for a mutable
+        copy.
+        """
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    # Closure engines
+    # ------------------------------------------------------------------
+    @property
+    def default_engine_name(self) -> str:
+        """Name of the engine the single-itemset wrappers route through."""
+        return self._default_engine
+
+    def engine(self, name: str | None = None) -> "ClosureEngine":
+        """Return the (lazily built, cached) closure engine *name*.
+
+        ``None`` selects this database's default engine.  One engine — and
+        therefore one closure cache and one set of derived views — is kept
+        per backend per database, so repeated calls are cheap.
+        """
+        from ..engine import make_engine, resolve_engine_name
+
+        resolved = resolve_engine_name(name or self._default_engine)
+        engine = self._engines.get(resolved)
+        if engine is None:
+            engine = make_engine(self, resolved)
+            self._engines[resolved] = engine
+        return engine
+
+    def clear_engine_caches(self) -> None:
+        """Drop the closure caches of every instantiated engine.
+
+        The derived views (packed covers, bitsets) are kept — they are a
+        function of the immutable relation — but cached closures are
+        forgotten.  Timing harnesses call this between runs so that no
+        algorithm is measured against a cache warmed by a previous one.
+        """
+        for engine in self._engines.values():
+            engine.cache_clear()
+
     def __len__(self) -> int:
         return self.n_objects
 
@@ -276,7 +322,12 @@ class TransactionDatabase:
     # ------------------------------------------------------------------
     # Galois connection primitives
     # ------------------------------------------------------------------
-    def _columns(self, items: Itemset | Iterable[Item]) -> list[int]:
+    def item_columns(self, items: Itemset | Iterable[Item]) -> list[int]:
+        """Map *items* to matrix column indices, validating membership.
+
+        The single home of the item-membership check; the engines route
+        their candidate encoding through it.
+        """
         itemset = Itemset.coerce(items)
         cols = []
         for item in itemset:
@@ -292,15 +343,10 @@ class TransactionDatabase:
         """Return the cover of *items* as an integer bitset over objects.
 
         Bit ``t`` is set iff object ``t`` contains every item of *items*.
-        The cover of the empty itemset is the whole object set.
+        The cover of the empty itemset is the whole object set.  Delegates
+        to the bitset engine, which owns the per-item tidsets.
         """
-        cols = self._columns(items)
-        bits = self._all_objects_bits
-        for c in cols:
-            bits &= self._item_bits[c]
-            if not bits:
-                break
-        return bits
+        return self.engine("bitset").cover_bits(items)
 
     def cover_mask(self, items: Itemset | Iterable[Item]) -> np.ndarray:
         """Return the cover of *items* as a boolean mask over object rows.
@@ -309,7 +355,7 @@ class TransactionDatabase:
         A-Close) use it because computing a closure needs the whole mask
         anyway.
         """
-        cols = self._columns(items)
+        cols = self.item_columns(items)
         if not cols:
             return np.ones(self.n_objects, dtype=bool)
         if len(cols) == 1:
@@ -318,8 +364,7 @@ class TransactionDatabase:
 
     def cover(self, items: Itemset | Iterable[Item]) -> frozenset[int]:
         """Return ``g(items)``: the row indices of objects containing *items*."""
-        mask = self.cover_mask(items)
-        return frozenset(int(i) for i in np.flatnonzero(mask))
+        return self.engine().extent(items)
 
     def common_items(self, objects: Iterable[int]) -> Itemset:
         """Return ``f(objects)``: the items shared by every listed object.
@@ -341,18 +386,13 @@ class TransactionDatabase:
         those objects).  For an itemset contained in no object the closure
         is the full item universe, the standard FCA convention.
         """
-        return self.closure_and_support(items)[0]
+        return self.engine().closure(items)
 
     def closure_and_support(
         self, items: Itemset | Iterable[Item]
     ) -> tuple[Itemset, int]:
         """Return ``(h(items), support_count(items))`` with a single cover pass."""
-        cover = self.cover_mask(items)
-        count = int(cover.sum())
-        if count == 0:
-            return self.item_universe, 0
-        common = self._matrix[cover].all(axis=0)
-        return Itemset(self._items[i] for i in np.flatnonzero(common)), count
+        return self.engine().closure_and_support(items)
 
     def is_closed(self, items: Itemset | Iterable[Item]) -> bool:
         """Return ``True`` iff *items* equals its own closure."""
@@ -360,11 +400,30 @@ class TransactionDatabase:
         return self.closure(itemset) == itemset
 
     # ------------------------------------------------------------------
+    # Batch operations (thin forwards to the default engine)
+    # ------------------------------------------------------------------
+    def closures(
+        self, itemsets: Iterable[Itemset | Iterable[Item]]
+    ) -> list[Itemset]:
+        """Return ``h(X)`` for every candidate in one vectorised pass."""
+        return self.engine().closures(itemsets)
+
+    def supports(self, itemsets: Iterable[Itemset | Iterable[Item]]) -> list[int]:
+        """Return the absolute support of every candidate in one pass."""
+        return self.engine().supports(itemsets)
+
+    def extents(
+        self, itemsets: Iterable[Itemset | Iterable[Item]]
+    ) -> list[frozenset[int]]:
+        """Return ``g(X)`` for every candidate in one pass."""
+        return self.engine().extents(itemsets)
+
+    # ------------------------------------------------------------------
     # Support
     # ------------------------------------------------------------------
     def support_count(self, items: Itemset | Iterable[Item]) -> int:
         """Return the absolute support (number of covering objects)."""
-        return _popcount(self.cover_bits(items))
+        return self.engine().support_count(items)
 
     def support(self, items: Itemset | Iterable[Item]) -> float:
         """Return the relative support ``support_count / |O|``."""
@@ -393,13 +452,13 @@ class TransactionDatabase:
     def vertical(self) -> dict:
         """Return the vertical representation: ``item -> frozenset of tids``."""
         return {
-            item: frozenset(_iter_bits(self._item_bits[i]))
-            for i, item in enumerate(self._items)
+            item: frozenset(iter_bits(bits))
+            for item, bits in self.vertical_bits().items()
         }
 
     def vertical_bits(self) -> dict:
         """Return the vertical representation as ``item -> integer bitset``."""
-        return {item: self._item_bits[i] for i, item in enumerate(self._items)}
+        return self.engine("bitset").item_bits()
 
     def to_binary_matrix(self) -> np.ndarray:
         """Return a copy of the dense boolean object × item matrix."""
@@ -422,6 +481,7 @@ class TransactionDatabase:
             item_order=order,
             object_ids=self._object_ids,
             name=self._name,
+            engine=self._default_engine,
         )
 
     def restrict_to_frequent_items(self, minsup: float) -> "TransactionDatabase":
@@ -435,11 +495,3 @@ class TransactionDatabase:
         counts = self.item_support_counts()
         frequent = [item for item in self._items if counts[item] >= threshold]
         return self.restrict_to_items(frequent)
-
-
-def _iter_bits(bits: int) -> Iterator[int]:
-    """Yield the indices of set bits of an integer bitset, ascending."""
-    while bits:
-        low = bits & -bits
-        yield low.bit_length() - 1
-        bits ^= low

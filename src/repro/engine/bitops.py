@@ -1,0 +1,88 @@
+"""Shared integer-bitset primitives.
+
+Every vertical data structure of the library — the per-item tidsets of the
+bitset engine, CHARM's search-tree nodes, the incremental support counting
+of Apriori — represents a set of objects as one arbitrary-precision Python
+integer with one bit per object.  This module is the single home of the
+bit-level helpers those call sites used to duplicate (``_popcount`` in
+``data/context.py``, ad-hoc intersections in ``algorithms/charm.py``).
+
+All helpers are pure functions of plain integers, so they are trivially
+shared between engines and algorithms without coupling them to a database
+instance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "iter_bits",
+    "bits_from_indices",
+    "bits_from_bool_array",
+    "bool_array_from_bits",
+    "intersect_bits",
+]
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits of an arbitrary-precision integer bitset."""
+    return bits.bit_count()
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """Yield the indices of set bits of an integer bitset, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def bits_from_indices(indices: Iterable[int]) -> int:
+    """Build a bitset with the given bit indices set."""
+    bits = 0
+    for index in indices:
+        bits |= 1 << int(index)
+    return bits
+
+
+def bits_from_bool_array(mask: np.ndarray) -> int:
+    """Convert a 1-D boolean numpy array into an integer bitset.
+
+    Bit ``i`` of the result is set iff ``mask[i]`` is true.  Uses
+    ``np.packbits`` so the conversion is vectorised rather than a Python
+    loop over set positions.
+    """
+    mask = np.ascontiguousarray(mask, dtype=bool)
+    if mask.size == 0:
+        return 0
+    packed = np.packbits(mask, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def bool_array_from_bits(bits: int, length: int) -> np.ndarray:
+    """Convert an integer bitset back into a boolean array of *length*."""
+    if length == 0:
+        return np.zeros(0, dtype=bool)
+    n_bytes = (length + 7) // 8
+    raw = np.frombuffer(bits.to_bytes(n_bytes, "little"), dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")[:length].astype(bool)
+
+
+def intersect_bits(bitsets: Iterable[int], universe: int) -> int:
+    """Intersect the given bitsets, starting from *universe*.
+
+    Short-circuits to ``0`` as soon as the running intersection empties,
+    which is the common case for long candidate itemsets on sparse data.
+    The intersection of no bitsets is *universe* (the identity of ``&``),
+    matching the convention ``g(∅) = O``.
+    """
+    result = universe
+    for bits in bitsets:
+        result &= bits
+        if not result:
+            break
+    return result

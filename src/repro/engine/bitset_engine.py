@@ -1,0 +1,123 @@
+"""Vertical closure engine backed by arbitrary-precision integer bitsets.
+
+This engine owns the per-item tidset bitsets (one Python integer per item,
+one bit per object) and the dual per-object item bitsets.  It is the
+first-class home of the vertical representation that used to live inside
+:class:`~repro.data.context.TransactionDatabase`:
+
+* a cover is an AND-reduction of item bitsets with early exit;
+* a support is a single popcount;
+* a closure is an AND-reduction of the row bitsets of the covering
+  objects.
+
+CHARM consumes :meth:`item_bits` / :attr:`all_objects_bits` directly (its
+search tree lives entirely in tidset space), so the vertical algorithm is
+an ordinary client of this engine rather than a special case inside the
+database.  For *batch* work on dense contexts the numpy engine — the
+default the level-wise miners run on — is usually faster (word-packed
+bulk reductions beat per-candidate Python loops); the bitset engine wins
+on sparse data where early-exit intersections skip most of the work, and
+for support-only queries of small itemsets.
+
+Both bitset views are built lazily with ``np.packbits`` on first use, so
+constructing a database never pays for a view its workload does not touch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from ..core.itemset import Itemset
+from .base import DEFAULT_CACHE_SIZE, ClosureEngine
+from .bitops import bits_from_bool_array, intersect_bits, iter_bits, popcount
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..data.context import TransactionDatabase
+
+__all__ = ["BitsetClosureEngine"]
+
+
+class BitsetClosureEngine(ClosureEngine):
+    """Vertical (tidset) engine; owns the per-item and per-object bitsets."""
+
+    name = "bitset"
+
+    def __init__(
+        self, database: "TransactionDatabase", cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> None:
+        super().__init__(database, cache_size=cache_size)
+        self._item_bits: tuple[int, ...] | None = None
+        self._row_bits: tuple[int, ...] | None = None
+        n_objects = database.n_objects
+        self._all_objects_bits = (1 << n_objects) - 1 if n_objects else 0
+        self._universe_bits = (1 << len(self._items)) - 1 if self._items else 0
+
+    # ------------------------------------------------------------------
+    # The vertical views (lazy)
+    # ------------------------------------------------------------------
+    @property
+    def all_objects_bits(self) -> int:
+        """Bitset with one set bit per object (the cover of ``∅``)."""
+        return self._all_objects_bits
+
+    def item_bits_tuple(self) -> tuple[int, ...]:
+        """Per-item tidset bitsets, aligned with the item column order."""
+        if self._item_bits is None:
+            matrix = self._db.matrix
+            self._item_bits = tuple(
+                bits_from_bool_array(matrix[:, c]) for c in range(matrix.shape[1])
+            )
+        return self._item_bits
+
+    def row_bits_tuple(self) -> tuple[int, ...]:
+        """Per-object item bitsets (bit ``i`` set iff the object has item ``i``)."""
+        if self._row_bits is None:
+            matrix = self._db.matrix
+            self._row_bits = tuple(
+                bits_from_bool_array(matrix[r]) for r in range(matrix.shape[0])
+            )
+        return self._row_bits
+
+    def item_bits(self) -> dict:
+        """The vertical representation as ``item -> tidset bitset``."""
+        bits = self.item_bits_tuple()
+        return {item: bits[i] for i, item in enumerate(self._items)}
+
+    def cover_bits(self, items: Itemset | Sequence) -> int:
+        """Return the cover of *items* as a tidset bitset (early-exit AND)."""
+        cols = self._columns(Itemset.coerce(items))
+        item_bits = self.item_bits_tuple()
+        return intersect_bits(
+            (item_bits[c] for c in cols), self._all_objects_bits
+        )
+
+    # ------------------------------------------------------------------
+    # Backend contract
+    # ------------------------------------------------------------------
+    def _closure_from_cover(self, cover: int) -> Itemset:
+        if not cover:
+            return self._db.item_universe
+        row_bits = self.row_bits_tuple()
+        common = intersect_bits(
+            (row_bits[t] for t in iter_bits(cover)), self._universe_bits
+        )
+        items = self._items
+        return Itemset(items[i] for i in iter_bits(common))
+
+    def _closures_and_supports_batch(
+        self, itemsets: Sequence[Itemset]
+    ) -> list[tuple[Itemset, int]]:
+        results: list[tuple[Itemset, int]] = []
+        for itemset in itemsets:
+            cover = self.cover_bits(itemset)
+            results.append((self._closure_from_cover(cover), popcount(cover)))
+        return results
+
+    def _supports_batch(self, itemsets: Sequence[Itemset]) -> list[int]:
+        return [popcount(self.cover_bits(itemset)) for itemset in itemsets]
+
+    def _extents_batch(self, itemsets: Sequence[Itemset]) -> list[frozenset[int]]:
+        return [
+            frozenset(iter_bits(self.cover_bits(itemset))) for itemset in itemsets
+        ]

@@ -1,0 +1,196 @@
+"""Dense vectorised closure engine backed by numpy word-packed reductions.
+
+The engine stores each item's cover as a row of ``uint64`` words (one bit
+per object) and evaluates a whole batch of candidates in four vectorised
+steps:
+
+1. **covers** — the candidates' item rows are gathered into one padded
+   index array and AND-reduced in bulk (``np.bitwise_and.reduce``), giving
+   the packed cover matrix (candidates × words) for the entire batch;
+2. **supports** — one ``np.bitwise_count`` popcount over the cover words;
+3. **cover deduplication** — distinct cover rows are identified with a
+   byte-key dict; on the correlated contexts of the paper a
+   10 000-candidate level collapses onto a few thousand distinct covers,
+   so the expensive closure step only runs on the unique rows;
+4. **closures** — item ``i`` belongs to ``h(X)`` iff no covering object
+   misses it, which for the unique unpacked cover matrix ``U`` is a single
+   matrix product: ``H = (U · ¬M) == 0`` (unique covers × items).  Each
+   distinct closure row is decoded into an :class:`Itemset` exactly once
+   and fanned back out through the inverse index.
+
+A candidate with an empty cover has an all-zero cover row, so its ``H``
+row is all ones — the full item universe, exactly the FCA convention of
+:meth:`TransactionDatabase.closure`.  float32 accumulators are exact for
+the integer counts involved (bounded by ``|O|``, far below the 2²⁴
+float32 integer range).  Batches of a handful of candidates skip the
+dedup machinery and decode directly, keeping the single-itemset wrappers
+as cheap as the pre-engine code path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.itemset import Itemset
+from .base import DEFAULT_CACHE_SIZE, ClosureEngine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..data.context import TransactionDatabase
+
+__all__ = ["NumpyClosureEngine"]
+
+#: Cap on the number of uint64 words materialised by one gather chunk.
+_CHUNK_WORDS = 1 << 24
+
+#: Batches up to this size bypass cover dedup and decode row by row.
+_SMALL_BATCH = 4
+
+
+class NumpyClosureEngine(ClosureEngine):
+    """Vectorised dense engine (the default for the level-wise miners)."""
+
+    name = "numpy"
+
+    def __init__(
+        self, database: "TransactionDatabase", cache_size: int = DEFAULT_CACHE_SIZE
+    ) -> None:
+        super().__init__(database, cache_size=cache_size)
+        matrix = database.matrix
+        self._matrix = matrix
+        # The float32 ¬M operand of the closure matmul is built lazily: a
+        # support-only workload (Apriori counting) never pays for it.
+        self._not_m_cache: np.ndarray | None = None
+        n_objects, n_items = matrix.shape
+        self._n_objects = n_objects
+        # Per-item covers packed into uint64 words, one row per item.
+        n_words = max(1, -(-n_objects // 64))
+        packed8 = np.zeros((n_items, n_words * 8), dtype=np.uint8)
+        if n_objects:
+            packed8[:, : -(-n_objects // 8)] = np.packbits(
+                matrix.T, axis=1, bitorder="little"
+            )
+        self._item_words = packed8.view(np.uint64)
+        # The cover of the empty itemset: every object bit set, tail zeroed.
+        full = np.zeros(n_words * 64, dtype=np.uint8)
+        full[:n_objects] = 1
+        self._full_words = np.packbits(full, bitorder="little").view(np.uint64)
+        self._n_words = n_words
+
+    @property
+    def _not_m(self) -> np.ndarray:
+        if self._not_m_cache is None:
+            self._not_m_cache = (~self._matrix).astype(np.float32)
+        return self._not_m_cache
+
+    # ------------------------------------------------------------------
+    # Batched cover computation (packed)
+    # ------------------------------------------------------------------
+    def _cover_words(self, col_lists: Sequence[list[int]]) -> np.ndarray:
+        """Return the packed cover matrix (candidates × uint64 words).
+
+        The candidates' item rows are padded (by cycling, AND-idempotent)
+        to a rectangular index array so one fancy-indexing gather plus one
+        ``bitwise_and`` reduction covers the entire batch.
+        """
+        m = len(col_lists)
+        out = np.empty((m, self._n_words), dtype=np.uint64)
+        width = max((len(cols) for cols in col_lists), default=0)
+        if width == 0:
+            out[:] = self._full_words
+            return out
+        index = np.empty((m, width), dtype=np.intp)
+        empty_rows: list[int] = []
+        for row, cols in enumerate(col_lists):
+            if cols:
+                index[row] = (cols * width)[:width]
+            else:
+                empty_rows.append(row)
+                index[row] = 0
+        chunk = max(1, _CHUNK_WORDS // max(1, self._n_words * width))
+        for start in range(0, m, chunk):
+            gathered = self._item_words[index[start : start + chunk]]
+            out[start : start + chunk] = np.bitwise_and.reduce(gathered, axis=1)
+        if empty_rows:
+            out[empty_rows] = self._full_words
+        return out
+
+    def _unpack_covers(self, cover_words: np.ndarray) -> np.ndarray:
+        """Unpack packed cover rows into a boolean (rows × objects) matrix."""
+        as_bytes = cover_words.reshape(cover_words.shape[0], -1).view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+        return bits[:, : self._n_objects].astype(bool)
+
+    def cover_masks(self, itemsets: Sequence[Itemset]) -> np.ndarray:
+        """Return the boolean cover matrix (candidates × objects)."""
+        candidates = self._coerce_all(itemsets)
+        words = self._cover_words([self._columns(c) for c in candidates])
+        if not candidates:
+            return np.zeros((0, self._n_objects), dtype=bool)
+        return self._unpack_covers(words)
+
+    # ------------------------------------------------------------------
+    # Decoding helpers
+    # ------------------------------------------------------------------
+    def _decode_items(self, mask: np.ndarray) -> Itemset:
+        items = self._items
+        return Itemset(items[i] for i in np.flatnonzero(mask))
+
+    # ------------------------------------------------------------------
+    # Backend contract
+    # ------------------------------------------------------------------
+    def _closures_and_supports_batch(
+        self, itemsets: Sequence[Itemset]
+    ) -> list[tuple[Itemset, int]]:
+        if not itemsets:
+            return []
+        cover_words = self._cover_words([self._columns(c) for c in itemsets])
+        supports = np.bitwise_count(cover_words).sum(axis=1)
+        if len(itemsets) <= _SMALL_BATCH:
+            covers = self._unpack_covers(cover_words)
+            results: list[tuple[Itemset, int]] = []
+            for r in range(len(itemsets)):
+                if supports[r] == 0:
+                    closure = self._db.item_universe
+                else:
+                    closure = self._decode_items(self._matrix[covers[r]].all(axis=0))
+                results.append((closure, int(supports[r])))
+            return results
+        # Dedup the covers: each distinct cover is closed and decoded once.
+        seen: dict[bytes, int] = {}
+        inverse = np.empty(len(itemsets), dtype=np.intp)
+        unique_rows: list[int] = []
+        for r in range(len(itemsets)):
+            key = cover_words[r].tobytes()
+            position = seen.get(key)
+            if position is None:
+                position = len(unique_rows)
+                seen[key] = position
+                unique_rows.append(r)
+            inverse[r] = position
+        unique_f = self._unpack_covers(cover_words[unique_rows]).astype(np.float32)
+        # One matrix product closes every distinct cover of the batch; an
+        # all-zero cover row yields an all-ones closure row = the universe.
+        closed = (unique_f @ self._not_m) == 0.0
+        distinct = [self._decode_items(row) for row in closed]
+        return [
+            (distinct[inverse[r]], int(supports[r])) for r in range(len(itemsets))
+        ]
+
+    def _supports_batch(self, itemsets: Sequence[Itemset]) -> list[int]:
+        if not itemsets:
+            return []
+        cover_words = self._cover_words([self._columns(c) for c in itemsets])
+        return [int(s) for s in np.bitwise_count(cover_words).sum(axis=1)]
+
+    def _extents_batch(self, itemsets: Sequence[Itemset]) -> list[frozenset[int]]:
+        if not itemsets:
+            return []
+        cover_words = self._cover_words([self._columns(c) for c in itemsets])
+        covers = self._unpack_covers(cover_words)
+        return [
+            frozenset(int(i) for i in np.flatnonzero(covers[r]))
+            for r in range(len(itemsets))
+        ]

@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 from ..algorithms.close import Close
 from ..data.io import load_basket_file
+from ..engine import ENGINES
 from . import tables
 from .config import all_specs, smoke_specs
 from .harness import build_rule_artifacts, mine_itemsets
@@ -65,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--limit", type=int, default=50, help="print at most this many itemsets"
     )
+    mine.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="closure engine backend (default: per-miner default)",
+    )
 
     bases = subparsers.add_parser(
         "bases", help="mine a basket file and print the rule bases"
@@ -74,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     bases.add_argument("--minconf", type=float, default=0.7, help="relative minconf")
     bases.add_argument(
         "--limit", type=int, default=30, help="print at most this many rules per basis"
+    )
+    bases.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="closure engine backend (default: per-miner default)",
     )
 
     experiment = subparsers.add_parser(
@@ -97,7 +110,7 @@ def _command_stats(args: argparse.Namespace) -> int:
 
 def _command_mine(args: argparse.Namespace) -> int:
     database = load_basket_file(args.dataset)
-    run = Close(args.minsup).run(database)
+    run = Close(args.minsup, engine=args.engine).run(database)
     print(
         f"{database.name}: {database.n_objects} objects, {database.n_items} items; "
         f"{len(run.family)} frequent closed itemsets at minsup={args.minsup}"
@@ -112,7 +125,7 @@ def _command_mine(args: argparse.Namespace) -> int:
 
 def _command_bases(args: argparse.Namespace) -> int:
     database = load_basket_file(args.dataset)
-    mining = mine_itemsets(database, args.minsup)
+    mining = mine_itemsets(database, args.minsup, engine=args.engine)
     artifacts = build_rule_artifacts(mining, minconf=args.minconf)
     report = artifacts.report
 

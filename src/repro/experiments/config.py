@@ -18,7 +18,7 @@ tables and different expected outcomes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from collections.abc import Callable
 
 from ..data.benchmarks_data import make_c20d10k, make_c73d10k, make_mushroom

@@ -1,0 +1,346 @@
+"""Tests of the batch closure engines (`repro.engine`).
+
+Four groups of guarantees:
+
+* **batch/single agreement** — property tests that ``closures()`` /
+  ``supports()`` / ``extents()`` over a batch agree itemset-by-itemset
+  with the single-itemset ``TransactionDatabase`` API and with a
+  brute-force reference, on random contexts;
+* **engine equivalence** — the numpy and bitset backends return identical
+  results on random contexts;
+* **cache behaviour** — LRU hits/misses/eviction of the shared closure
+  cache;
+* **wiring** — the level-wise miners actually route whole candidate
+  levels through the engine batch entry points.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AClose, Apriori, Charm, Close, TransactionDatabase
+from repro.core.itemset import Itemset
+from repro.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    BitsetClosureEngine,
+    NumpyClosureEngine,
+    make_engine,
+    resolve_engine_name,
+)
+from repro.errors import InvalidItemsetError, InvalidParameterError
+
+ITEM_POOL = ["a", "b", "c", "d", "e", "f"]
+
+
+@st.composite
+def contexts(draw) -> TransactionDatabase:
+    """Random small mining contexts (1–12 objects over 6 items)."""
+    n_rows = draw(st.integers(min_value=1, max_value=12))
+    rows = [
+        draw(st.sets(st.sampled_from(ITEM_POOL), min_size=0, max_size=len(ITEM_POOL)))
+        for _ in range(n_rows)
+    ]
+    return TransactionDatabase(rows, item_order=ITEM_POOL)
+
+
+@st.composite
+def context_and_batch(draw):
+    db = draw(contexts())
+    batch = [
+        Itemset(draw(st.sets(st.sampled_from(ITEM_POOL), min_size=0, max_size=4)))
+        for _ in range(draw(st.integers(min_value=0, max_value=12)))
+    ]
+    return db, batch
+
+
+def brute_force_closure(db: TransactionDatabase, itemset: Itemset) -> Itemset:
+    covering = [row for row in db if itemset.issubset(row)]
+    if not covering:
+        return db.item_universe
+    result = covering[0]
+    for row in covering[1:]:
+        result = result.intersection(row)
+    return result
+
+
+def make_random_db(seed: int, n_objects: int = 60, n_items: int = 10):
+    rng = random.Random(seed)
+    rows = [
+        sorted({f"i{rng.randrange(n_items)}" for _ in range(rng.randint(0, 7))})
+        for _ in range(n_objects)
+    ]
+    return TransactionDatabase(rows, name=f"random{seed}")
+
+
+# ----------------------------------------------------------------------
+# Batch results agree with the single-itemset API and brute force
+# ----------------------------------------------------------------------
+class TestBatchAgreesWithSingle:
+    @settings(max_examples=60, deadline=None)
+    @given(data=context_and_batch(), engine_name=st.sampled_from(sorted(ENGINES)))
+    def test_closures_match_per_itemset_closure(self, data, engine_name):
+        db, batch = data
+        engine = make_engine(db, engine_name)
+        closures = engine.closures(batch)
+        assert len(closures) == len(batch)
+        for itemset, closure in zip(batch, closures):
+            assert closure == db.closure(itemset)
+            assert closure == brute_force_closure(db, itemset)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=context_and_batch(), engine_name=st.sampled_from(sorted(ENGINES)))
+    def test_supports_and_extents_match_reference(self, data, engine_name):
+        db, batch = data
+        engine = make_engine(db, engine_name)
+        supports = engine.supports(batch)
+        extents = engine.extents(batch)
+        for itemset, support, extent in zip(batch, supports, extents):
+            expected = frozenset(
+                t for t, row in enumerate(db) if itemset.issubset(row)
+            )
+            assert extent == expected
+            assert support == len(expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=context_and_batch())
+    def test_closures_and_supports_consistent(self, data):
+        db, batch = data
+        pairs = db.engine().closures_and_supports(batch)
+        assert pairs == list(
+            zip(db.engine().closures(batch), db.engine().supports(batch))
+        )
+
+    def test_large_batch_crosses_small_batch_threshold(self):
+        # Exercise both the direct decode path (tiny batches) and the
+        # dedup + matmul path (large batches) of the numpy engine.
+        db = make_random_db(1)
+        rng = random.Random(9)
+        batch = [
+            Itemset(rng.sample(db.items, rng.randint(0, 4))) for _ in range(300)
+        ]
+        engine = make_engine(db, "numpy", cache_size=0)
+        expected = [engine.closure_and_support(c) for c in batch]
+        assert engine.closures_and_supports(batch) == expected
+
+    def test_unknown_item_raises(self):
+        db = make_random_db(2)
+        for name in sorted(ENGINES):
+            with pytest.raises(InvalidItemsetError):
+                make_engine(db, name).closures([Itemset.of("nope")])
+
+    def test_duplicates_in_one_batch(self):
+        db = make_random_db(3)
+        itemset = Itemset.of(db.items[0])
+        engine = make_engine(db, "numpy")
+        closures = engine.closures([itemset, itemset, itemset])
+        assert closures[0] == closures[1] == closures[2] == db.closure(itemset)
+
+
+# ----------------------------------------------------------------------
+# The two backends are interchangeable
+# ----------------------------------------------------------------------
+class TestEngineEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(data=context_and_batch())
+    def test_numpy_and_bitset_agree(self, data):
+        db, batch = data
+        numpy_engine = make_engine(db, "numpy")
+        bitset_engine = make_engine(db, "bitset")
+        assert numpy_engine.closures_and_supports(
+            batch
+        ) == bitset_engine.closures_and_supports(batch)
+        assert numpy_engine.extents(batch) == bitset_engine.extents(batch)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engines_agree_on_larger_random_contexts(self, seed):
+        db = make_random_db(seed, n_objects=150, n_items=14)
+        rng = random.Random(seed + 100)
+        batch = [
+            Itemset(rng.sample(db.items, rng.randint(0, 5))) for _ in range(200)
+        ]
+        assert make_engine(db, "numpy").closures_and_supports(
+            batch
+        ) == make_engine(db, "bitset").closures_and_supports(batch)
+
+    @pytest.mark.parametrize("engine_name", sorted(ENGINES))
+    def test_miners_equivalent_across_engines(self, engine_name):
+        db = make_random_db(7, n_objects=80, n_items=9)
+        reference = {
+            "Close": Close(0.1).mine(db),
+            "A-Close": AClose(0.1).mine(db),
+            "Apriori": Apriori(0.1).mine(db),
+        }
+        assert dict(Close(0.1, engine=engine_name).mine(db).items_with_supports()) == dict(
+            reference["Close"].items_with_supports()
+        )
+        assert dict(
+            AClose(0.1, engine=engine_name).mine(db).items_with_supports()
+        ) == dict(reference["A-Close"].items_with_supports())
+        assert dict(
+            Apriori(0.1, engine=engine_name).mine(db).items_with_supports()
+        ) == dict(reference["Apriori"].items_with_supports())
+
+    def test_empty_context_edge_cases(self):
+        db = TransactionDatabase([[]], item_order=["a", "b"])
+        for name in sorted(ENGINES):
+            engine = make_engine(db, name)
+            assert engine.closures([Itemset.empty()]) == [Itemset.empty()]
+            assert engine.supports([Itemset.of("a")]) == [0]
+            assert engine.closures([Itemset.of("a")]) == [db.item_universe]
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+# ----------------------------------------------------------------------
+class TestClosureCache:
+    def test_repeated_single_calls_hit_the_cache(self):
+        db = make_random_db(11)
+        engine = make_engine(db, "numpy")
+        itemset = Itemset.of(db.items[0], db.items[1])
+        first = engine.closure_and_support(itemset)
+        info_after_first = engine.cache_info()
+        second = engine.closure_and_support(itemset)
+        info_after_second = engine.cache_info()
+        assert first == second
+        assert info_after_first.misses == 1 and info_after_first.hits == 0
+        assert info_after_second.hits == 1 and info_after_second.misses == 1
+        assert info_after_second.currsize == 1
+
+    def test_batch_only_computes_cache_misses(self):
+        db = make_random_db(12)
+        engine = make_engine(db, "numpy")
+        warm = [Itemset.of(item) for item in db.items[:3]]
+        cold = [Itemset.of(item) for item in db.items[3:6]]
+        engine.closures(warm)
+        before = engine.cache_info()
+        engine.closures(warm + cold)
+        after = engine.cache_info()
+        assert after.hits == before.hits + len(warm)
+        assert after.misses == before.misses + len(cold)
+
+    def test_supports_use_cached_closure_pairs(self):
+        db = make_random_db(13)
+        engine = make_engine(db, "numpy")
+        itemset = Itemset.of(db.items[0])
+        _, support = engine.closure_and_support(itemset)
+        assert engine.supports([itemset]) == [support]
+        assert engine.cache_info().hits == 1
+
+    def test_lru_eviction_bounds_cache_size(self):
+        db = make_random_db(14)
+        engine = make_engine(db, "numpy", cache_size=4)
+        batch = [Itemset.of(item) for item in db.items[:8]]
+        engine.closures(batch)
+        info = engine.cache_info()
+        assert info.currsize == 4
+        # The oldest entries were evicted: querying them misses again.
+        engine.closure(batch[0])
+        assert engine.cache_info().misses == info.misses + 1
+        # The newest entries are still cached.
+        engine.closure(batch[-1])
+        assert engine.cache_info().hits == info.hits + 1
+
+    def test_cache_clear_and_disabled_cache(self):
+        db = make_random_db(15)
+        engine = make_engine(db, "numpy")
+        engine.closure(Itemset.of(db.items[0]))
+        engine.cache_clear()
+        info = engine.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+        uncached = make_engine(db, "numpy", cache_size=0)
+        uncached.closure(Itemset.of(db.items[0]))
+        uncached.closure(Itemset.of(db.items[0]))
+        assert uncached.cache_info().currsize == 0
+        assert uncached.cache_info().hits == 0
+
+
+# ----------------------------------------------------------------------
+# Engine selection seam
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_database_engine_accessor_caches_per_backend(self):
+        db = make_random_db(21)
+        assert db.engine() is db.engine(DEFAULT_ENGINE)
+        assert db.engine("bitset") is db.engine("bitset")
+        assert isinstance(db.engine("numpy"), NumpyClosureEngine)
+        assert isinstance(db.engine("bitset"), BitsetClosureEngine)
+        assert db.engine("numpy") is not db.engine("bitset")
+
+    def test_database_default_engine_kwarg(self):
+        rows = [["a", "b"], ["a"]]
+        db = TransactionDatabase(rows, engine="bitset")
+        assert db.default_engine_name == "bitset"
+        assert isinstance(db.engine(), BitsetClosureEngine)
+        restricted = db.restrict_to_items(["a"])
+        assert restricted.default_engine_name == "bitset"
+
+    def test_unknown_engine_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_engine_name("fortran")
+        db = make_random_db(22)
+        with pytest.raises(InvalidParameterError):
+            db.engine("fortran")
+        with pytest.raises(InvalidParameterError):
+            Close(0.5, engine="fortran")
+
+    def test_charm_requires_bitset_engine(self):
+        with pytest.raises(InvalidParameterError):
+            Charm(0.5, engine="numpy")
+        assert Charm(0.5, engine="bitset").engine_name == "bitset"
+
+    def test_database_wrappers_route_through_default_engine(self):
+        db = make_random_db(23)
+        itemset = Itemset.of(db.items[0])
+        db.closure(itemset)
+        db.closure(itemset)
+        assert db.engine().cache_info().hits >= 1
+
+
+# ----------------------------------------------------------------------
+# The miners actually use the batch entry points
+# ----------------------------------------------------------------------
+class TestMinersUseBatches:
+    def _record_batches(self, monkeypatch, engine, method_name):
+        calls: list[int] = []
+        original = getattr(engine, method_name)
+
+        def recording(itemsets):
+            batch = list(itemsets)
+            calls.append(len(batch))
+            return original(batch)
+
+        monkeypatch.setattr(engine, method_name, recording)
+        return calls
+
+    def test_close_batches_whole_levels(self, monkeypatch):
+        db = make_random_db(31)
+        engine = db.engine()
+        calls = self._record_batches(monkeypatch, engine, "closures_and_supports")
+        Close(0.1).mine(db)
+        # One batch per level, each covering the full candidate level: far
+        # fewer calls than candidates evaluated.
+        assert calls and max(calls) > 1
+        assert calls[0] == db.n_items
+
+    def test_aclose_batches_supports_and_final_closures(self, monkeypatch):
+        db = make_random_db(32)
+        engine = db.engine()
+        support_calls = self._record_batches(monkeypatch, engine, "supports")
+        closure_calls = self._record_batches(monkeypatch, engine, "closures")
+        AClose(0.1).mine(db)
+        assert support_calls and support_calls[0] == db.n_items
+        # Exactly one closure batch: the phase-2 pass over all generators.
+        assert len(closure_calls) == 1 and closure_calls[0] > 1
+
+    def test_apriori_batches_support_counting(self, monkeypatch):
+        db = make_random_db(33)
+        engine = db.engine()
+        calls = self._record_batches(monkeypatch, engine, "supports")
+        run = Apriori(0.1).run(db)
+        assert calls and calls[0] == db.n_items
+        # One supports batch per level.
+        assert len(calls) == run.statistics.levels

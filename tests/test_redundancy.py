@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Apriori, Close, build_duquenne_guigues_basis
+from repro import build_duquenne_guigues_basis
 from repro.algorithms.rule_generation import generate_all_rules, generate_exact_rules
 from repro.core.itemset import Itemset
 from repro.core.luxenburger import LuxenburgerBasis
