@@ -21,6 +21,7 @@ import pytest
 
 from repro import AClose, Apriori, Charm, Close
 from repro.core.itemset import Itemset
+from repro.core.lattice import IcebergLattice, hasse_edges_reference
 from repro.core.luxenburger import LuxenburgerBasis
 from repro.data.benchmarks_data import make_mushroom
 from repro.engine import make_engine
@@ -59,6 +60,25 @@ def test_luxenburger_reduced_basis_construction(benchmark, mined):
         lambda: LuxenburgerBasis(mined.closed, minconf=0.7, transitive_reduction=True)
     )
     assert len(basis) > 0
+
+
+def test_engine_lattice_construction(benchmark, mined):
+    """Vectorised iceberg-lattice build on the MUSHROOM* closed family.
+
+    This is the packed-mask containment + boolean transitive reduction
+    path of ``repro.core.order``; the regression gate watches it (the
+    name matches the ``engine`` filter).  The ratio against
+    ``test_lattice_reference_builder`` is the vectorisation speedup
+    (>= 3x on this workload).
+    """
+    lattice = benchmark(lambda: IcebergLattice(mined.closed))
+    assert lattice.edge_count() > 0
+
+
+def test_lattice_reference_builder(benchmark, mined):
+    """The pre-vectorisation per-pair Hasse builder (baseline, not gated)."""
+    edges = benchmark(lambda: hasse_edges_reference(mined.closed))
+    assert len(edges) > 0
 
 
 def test_closure_computation(benchmark, mushroom):

@@ -14,7 +14,7 @@ The package is organised in five sub-packages:
 * :mod:`repro.algorithms` — Apriori (baseline), Close, A-Close and CHARM;
 * :mod:`repro.analysis` — interestingness metrics and dataset statistics;
 * :mod:`repro.experiments` — the harness regenerating every table and
-  figure of the evaluation, plus the ``repro-mine`` CLI.
+  figure of the evaluation, plus the ``repro`` CLI.
 
 Quickstart
 ----------
@@ -38,6 +38,14 @@ from .algorithms.rule_generation import (
     generate_all_rules,
     generate_approximate_rules,
     generate_exact_rules,
+)
+from .bases import (
+    BasisContext,
+    BuiltBasis,
+    RuleBasis,
+    available_bases,
+    build_bases,
+    register_basis,
 )
 from .core.closure import GaloisConnection
 from .core.concept import FormalConcept, enumerate_concepts
@@ -93,6 +101,13 @@ __all__ = [
     "GenericBasis",
     "InformativeBasis",
     "BasisDerivation",
+    # bases registry
+    "BasisContext",
+    "BuiltBasis",
+    "RuleBasis",
+    "available_bases",
+    "build_bases",
+    "register_basis",
     # engines
     "ClosureEngine",
     "NumpyClosureEngine",

@@ -14,12 +14,17 @@ separately:
 * :func:`generate_approximate_rules` — only the rules with confidence in
   ``[minconf, 1)``.
 
+Both are one enumeration pass with the confidence window applied inline;
+in particular the approximate variant does **not** materialise the full
+rule set first and filter afterwards.
+
 Supports come from the provided :class:`~repro.core.families.ItemsetFamily`;
 no database access is needed.
 """
 
 from __future__ import annotations
 
+from ..core.constants import EPSILON
 from ..core.families import ItemsetFamily
 from ..core.rules import AssociationRule, RuleSet
 from ..errors import InvalidParameterError
@@ -30,12 +35,45 @@ __all__ = [
     "generate_approximate_rules",
 ]
 
-_EPSILON = 1e-12
-
 
 def _validate_minconf(minconf: float) -> None:
     if not 0.0 <= minconf <= 1.0:
         raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
+
+
+def _generate_rules(
+    frequent: ItemsetFamily,
+    minconf: float,
+    min_rule_size: int,
+    exclude_exact: bool = False,
+) -> RuleSet:
+    """One enumeration pass with the confidence window applied inline."""
+    rules = RuleSet()
+    n_objects = frequent.n_objects
+    for itemset, count in frequent.items_with_supports():
+        if len(itemset) < min_rule_size:
+            continue
+        support = count / n_objects if n_objects else 0.0
+        for antecedent in itemset.nonempty_proper_subsets():
+            antecedent_count = frequent.get(antecedent)
+            if antecedent_count is None or antecedent_count == 0:
+                # Cannot happen for a downward-closed family; guard anyway.
+                continue
+            confidence = count / antecedent_count
+            if confidence < minconf - EPSILON:
+                continue
+            if exclude_exact and confidence >= 1.0 - EPSILON:
+                continue
+            rules.add(
+                AssociationRule(
+                    antecedent,
+                    itemset.difference(antecedent),
+                    support=support,
+                    confidence=confidence,
+                    support_count=count,
+                )
+            )
+    return rules
 
 
 def generate_all_rules(
@@ -64,29 +102,7 @@ def generate_all_rules(
         frequent and ``confidence ≥ minconf``.
     """
     _validate_minconf(minconf)
-    rules = RuleSet()
-    n_objects = frequent.n_objects
-    for itemset, count in frequent.items_with_supports():
-        if len(itemset) < min_rule_size:
-            continue
-        support = count / n_objects if n_objects else 0.0
-        for antecedent in itemset.nonempty_proper_subsets():
-            antecedent_count = frequent.get(antecedent)
-            if antecedent_count is None or antecedent_count == 0:
-                # Cannot happen for a downward-closed family; guard anyway.
-                continue
-            confidence = count / antecedent_count
-            if confidence >= minconf - _EPSILON:
-                rules.add(
-                    AssociationRule(
-                        antecedent,
-                        itemset.difference(antecedent),
-                        support=support,
-                        confidence=confidence,
-                        support_count=count,
-                    )
-                )
-    return rules
+    return _generate_rules(frequent, minconf, min_rule_size)
 
 
 def generate_exact_rules(frequent: ItemsetFamily) -> RuleSet:
@@ -99,7 +115,10 @@ def generate_exact_rules(frequent: ItemsetFamily) -> RuleSet:
 
 
 def generate_approximate_rules(frequent: ItemsetFamily, minconf: float) -> RuleSet:
-    """Generate every approximate rule with confidence in ``[minconf, 1)``."""
+    """Generate every approximate rule with confidence in ``[minconf, 1)``.
+
+    The exact rules are excluded during the enumeration itself (one pass),
+    not by generating everything and filtering afterwards.
+    """
     _validate_minconf(minconf)
-    all_rules = generate_all_rules(frequent, minconf=minconf)
-    return all_rules.approximate_rules()
+    return _generate_rules(frequent, minconf, min_rule_size=2, exclude_exact=True)

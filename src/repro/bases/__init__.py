@@ -1,0 +1,65 @@
+"""Unified rule-basis subsystem.
+
+One protocol (:class:`~repro.bases.base.RuleBasis`), one shared input
+bundle (:class:`~repro.bases.base.BasisContext`) and a string-keyed
+registry covering every rule artefact of the paper and its follow-ons:
+
+========================  ===========  ==============================================
+name                      kind         construction
+========================  ===========  ==============================================
+``all``                   all          every valid rule above minconf (baseline)
+``exact``                 exact        every confidence-1 rule, naive generation
+``approximate``           approximate  every rule in ``[minconf, 1)``, naive
+``dg``                    exact        Duquenne-Guigues basis (Theorem 1)
+``luxenburger``           approximate  full Luxenburger basis (every closed pair)
+``luxenburger-reduced``   approximate  reduced Luxenburger basis (Theorem 2)
+``generic``               exact        generic basis (minimal generators, CL 2000)
+``informative``           approximate  informative basis (generators, full)
+``informative-reduced``   approximate  reduced informative basis (lattice edges)
+========================  ===========  ==============================================
+
+Quickstart::
+
+    from repro.bases import BasisContext, build_bases
+
+    context = BasisContext(closed=closed, minconf=0.7, frequent=frequent)
+    built = build_bases(context, "dg,luxenburger-reduced")
+    for name, basis in built.items():
+        print(name, len(basis.rules), basis.metadata)
+
+Bases that need the iceberg lattice share the context's single instance,
+so building several lattice-backed bases packs and reduces the closed
+family exactly once (the vectorised construction of
+:mod:`repro.core.order`).
+"""
+
+from __future__ import annotations
+
+from .base import BasisContext, BuiltBasis, RuleBasis
+from .registry import (
+    DEFAULT_BASES,
+    available_bases,
+    basis_items,
+    build_bases,
+    get_basis,
+    register_basis,
+    registered_names,
+    resolve_basis_names,
+)
+
+# Importing the builders registers the nine standard bases.
+from . import builders as _builders  # noqa: F401,E402
+
+__all__ = [
+    "BasisContext",
+    "BuiltBasis",
+    "RuleBasis",
+    "DEFAULT_BASES",
+    "available_bases",
+    "basis_items",
+    "build_bases",
+    "get_basis",
+    "register_basis",
+    "registered_names",
+    "resolve_basis_names",
+]

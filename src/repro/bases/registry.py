@@ -1,0 +1,114 @@
+"""String-keyed registry of the rule bases.
+
+The harness, the CLI, the experiment configuration and the benchmarks all
+select rule bases by name through this registry instead of hard-coding
+one attribute per basis.  Names are stable, lower-case identifiers::
+
+    all, exact, approximate, dg, luxenburger, luxenburger-reduced,
+    generic, informative, informative-reduced
+
+``build_bases(context, names)`` builds any subset in one call, sharing
+the context's lazily constructed iceberg lattice between the bases that
+need one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from ..errors import InvalidParameterError
+from .base import BasisContext, BuiltBasis, RuleBasis
+
+__all__ = [
+    "register_basis",
+    "get_basis",
+    "available_bases",
+    "resolve_basis_names",
+    "build_bases",
+    "registered_names",
+    "basis_items",
+    "DEFAULT_BASES",
+]
+
+#: The selection the classic harness / CLI output is built from (the four
+#: artefacts of the original reduction tables).
+DEFAULT_BASES: tuple[str, ...] = ("all", "dg", "luxenburger", "luxenburger-reduced")
+
+_REGISTRY: dict[str, RuleBasis] = {}
+
+
+def register_basis(basis: RuleBasis) -> RuleBasis:
+    """Register *basis* under its ``name`` (usable as a class decorator)."""
+    instance = basis() if isinstance(basis, type) else basis
+    name = instance.name
+    if name in _REGISTRY:
+        raise InvalidParameterError(f"rule basis {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return basis
+
+
+def get_basis(name: str) -> RuleBasis:
+    """Return the registered basis called *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise InvalidParameterError(
+            f"unknown rule basis {name!r}; expected one of: {known}"
+        ) from None
+
+
+def available_bases() -> dict[str, str]:
+    """Mapping ``name -> one-line description`` of every registered basis."""
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+def resolve_basis_names(
+    selection: str | Sequence[str] | None,
+) -> tuple[str, ...]:
+    """Normalise a basis selection into a validated tuple of names.
+
+    Accepts ``None`` (the default selection), a comma-separated string
+    (the CLI form, e.g. ``"dg,luxenburger-reduced"``) or a sequence of
+    names.  Order is preserved, duplicates are dropped, unknown names
+    raise.
+    """
+    if selection is None:
+        names: Iterable[str] = DEFAULT_BASES
+    elif isinstance(selection, str):
+        names = [part.strip() for part in selection.split(",") if part.strip()]
+    else:
+        names = selection
+    resolved: list[str] = []
+    for name in names:
+        get_basis(name)  # validates
+        if name not in resolved:
+            resolved.append(name)
+    if not resolved:
+        raise InvalidParameterError("empty rule-basis selection")
+    return tuple(resolved)
+
+
+def build_bases(
+    context: BasisContext,
+    names: str | Sequence[str] | None = None,
+) -> dict[str, BuiltBasis]:
+    """Build the selected bases from one shared context.
+
+    Returns ``name -> BuiltBasis`` in selection order.  Bases that need a
+    lattice share the context's single lazily built instance.
+    """
+    return {
+        name: get_basis(name).build(context)
+        for name in resolve_basis_names(names)
+    }
+
+
+def registered_names() -> tuple[str, ...]:
+    """Every registered basis name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def basis_items() -> Mapping[str, RuleBasis]:
+    """Read-only view of the registry (for introspection and tests)."""
+    return dict(_REGISTRY)

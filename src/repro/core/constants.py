@@ -1,0 +1,16 @@
+"""Shared numeric tolerances.
+
+Confidence and support values are ratios of integer counts, so they are
+exact up to one floating-point division; every threshold comparison in the
+library (rule generation, the bases, derivation) therefore uses the same
+absolute tolerance rather than a per-module copy.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPSILON"]
+
+#: Absolute tolerance for confidence / support comparisons.  A rule is
+#: "exact" when ``confidence >= 1 - EPSILON`` and clears a threshold when
+#: ``value >= threshold - EPSILON``.
+EPSILON = 1e-12

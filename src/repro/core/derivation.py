@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from ..errors import DerivationError, InvalidParameterError
+from .constants import EPSILON
 from .dg_basis import DuquenneGuiguesBasis
 from .families import ItemsetFamily
 from .itemset import Item, Itemset
@@ -30,8 +31,6 @@ from .luxenburger import LuxenburgerBasis
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["BasisDerivation"]
-
-_EPSILON = 1e-12
 
 
 class BasisDerivation:
@@ -249,7 +248,7 @@ class BasisDerivation:
                     raise DerivationError(
                         f"no Luxenburger path between {lower} and {upper}"
                     )
-                if confidence >= minconf - _EPSILON and confidence < 1.0 - _EPSILON:
+                if confidence >= minconf - EPSILON and confidence < 1.0 - EPSILON:
                     rules.add(
                         AssociationRule(
                             antecedent=antecedent,

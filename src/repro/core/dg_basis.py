@@ -82,6 +82,11 @@ class DuquenneGuiguesBasis:
         """The basis as a :class:`~repro.core.rules.RuleSet` of exact rules."""
         return self._rules
 
+    @property
+    def metadata(self) -> dict[str, object]:
+        """Shape metadata for the reduction reports."""
+        return {"pseudo_closed_itemsets": len(self._pseudo_closed)}
+
     def __len__(self) -> int:
         return len(self._rules)
 

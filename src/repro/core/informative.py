@@ -27,13 +27,12 @@ from __future__ import annotations
 from collections.abc import Iterator
 
 from ..errors import InvalidParameterError
+from .constants import EPSILON
 from .generators import GeneratorFamily
 from .lattice import IcebergLattice
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["GenericBasis", "InformativeBasis"]
-
-_EPSILON = 1e-12
 
 
 class GenericBasis:
@@ -65,6 +64,14 @@ class GenericBasis:
         """The generic-basis rules."""
         return self._rules
 
+    @property
+    def metadata(self) -> dict[str, object]:
+        """Shape metadata for the reduction reports."""
+        return {
+            "closed_itemsets": len(self._closed),
+            "generator_closures": len(self._generators),
+        }
+
     def __len__(self) -> int:
         return len(self._rules)
 
@@ -88,6 +95,9 @@ class InformativeBasis:
         When ``True``, only pair each generator's closure with its
         immediate successors in the iceberg lattice (the reduced
         informative basis); when ``False``, with every larger closed set.
+    lattice:
+        Optional pre-built iceberg lattice of the generators' closed
+        family, to share the lattice construction between bases.
     """
 
     def __init__(
@@ -95,30 +105,40 @@ class InformativeBasis:
         generators: GeneratorFamily,
         minconf: float,
         reduced: bool = True,
+        lattice: IcebergLattice | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
         self._generators = generators
         self._closed = generators.closed_family
+        if lattice is not None and lattice.closed_family is not self._closed:
+            raise InvalidParameterError(
+                "the provided lattice was built from a different closed family"
+            )
         self._minconf = minconf
         self._reduced = reduced
-        self._lattice = IcebergLattice(self._closed)
+        self._lattice = (
+            lattice if lattice is not None else IcebergLattice(self._closed)
+        )
         self._rules = RuleSet(self._build_rules())
 
     def _build_rules(self) -> Iterator[AssociationRule]:
         n_objects = self._closed.n_objects
+        lattice = self._lattice
         for closed in self._generators.closed_itemsets():
             lower_count = self._closed.support_count(closed)
             if self._reduced:
-                targets = self._lattice.immediate_successors(closed)
+                targets = lattice.immediate_successors(closed)
             else:
-                targets = self._closed.frequent_supersets(closed)
+                # The lattice's containment row answers "every larger
+                # closed set" without re-scanning the whole family.
+                targets = lattice.proper_supersets(closed)
             for target in targets:
                 upper_count = self._closed.support_count(target)
                 confidence = upper_count / lower_count if lower_count else 0.0
-                if confidence < self._minconf - _EPSILON:
+                if confidence < self._minconf - EPSILON:
                     continue
-                if confidence >= 1.0 - _EPSILON:
+                if confidence >= 1.0 - EPSILON:
                     continue
                 for generator in self._generators.generators_of(closed):
                     consequent = target.difference(generator)
@@ -146,6 +166,21 @@ class InformativeBasis:
     def is_reduced(self) -> bool:
         """``True`` when restricted to lattice-adjacent closed pairs."""
         return self._reduced
+
+    @property
+    def lattice(self) -> IcebergLattice:
+        """The iceberg lattice the basis pairs were read from."""
+        return self._lattice
+
+    @property
+    def metadata(self) -> dict[str, object]:
+        """Shape metadata for the reduction reports."""
+        return {
+            "reduced": self._reduced,
+            "minconf": self._minconf,
+            "lattice_nodes": len(self._lattice),
+            "lattice_edges": self._lattice.edge_count(),
+        }
 
     def __len__(self) -> int:
         return len(self._rules)

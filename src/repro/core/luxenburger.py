@@ -13,39 +13,26 @@ frequent closed itemset strictly in between, i.e. the Hasse edges of the
 iceberg lattice — is still a basis, because the confidence of any
 closed-set pair is the product of the edge confidences along a path.
 
-This module builds both variants and exposes the structure (which rule
-corresponds to which lattice edge) needed by the derivation engine and by
-the experiments.
+This module builds both variants directly from the lattice's precomputed
+edge and confidence arrays (one vectorised threshold pass selects the
+surviving pairs) and exposes the structure needed by the derivation
+engine and by the experiments.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import InvalidParameterError
+from .constants import EPSILON
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
 from .lattice import IcebergLattice
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["LuxenburgerBasis", "build_luxenburger_basis"]
-
-_EPSILON = 1e-12
-
-
-@dataclass(frozen=True)
-class _ClosedPair:
-    """A comparable pair of frequent closed itemsets ``smaller ⊂ larger``."""
-
-    smaller: Itemset
-    larger: Itemset
-    smaller_count: int
-    larger_count: int
-
-    @property
-    def confidence(self) -> float:
-        return self.larger_count / self.smaller_count if self.smaller_count else 0.0
 
 
 class LuxenburgerBasis:
@@ -65,6 +52,10 @@ class LuxenburgerBasis:
         When ``True`` (the reduced basis of Theorem 2), keep only the Hasse
         edges of the iceberg lattice; when ``False``, keep every comparable
         pair of closed itemsets.
+    lattice:
+        Optional pre-built iceberg lattice of *closed*; pass one to share
+        the (vectorised, but not free) lattice construction between the
+        bases built from the same closed family.
     """
 
     def __init__(
@@ -72,50 +63,59 @@ class LuxenburgerBasis:
         closed: ClosedItemsetFamily,
         minconf: float,
         transitive_reduction: bool = True,
+        lattice: IcebergLattice | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
+        if lattice is not None and lattice.closed_family is not closed:
+            raise InvalidParameterError(
+                "the provided lattice was built from a different closed family"
+            )
         self._closed = closed
         self._minconf = minconf
         self._reduced = transitive_reduction
-        self._lattice = IcebergLattice(closed)
-        self._pairs = list(self._enumerate_pairs())
+        self._lattice = lattice if lattice is not None else IcebergLattice(closed)
         self._rules = RuleSet(self._build_rules())
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _enumerate_pairs(self) -> Iterator[_ClosedPair]:
-        if self._reduced:
-            edges = self._lattice.hasse_edges()
-        else:
-            edges = self._lattice.comparable_pairs()
-        for smaller, larger in edges:
-            yield _ClosedPair(
-                smaller=smaller,
-                larger=larger,
-                smaller_count=self._closed.support_count(smaller),
-                larger_count=self._closed.support_count(larger),
-            )
-
     def _build_rules(self) -> Iterator[AssociationRule]:
+        lattice = self._lattice
+        if self._reduced:
+            rows, cols = lattice.hasse_edge_indices()
+        else:
+            rows, cols = lattice.containment_indices()
+        counts = lattice.support_counts()
+        smaller_counts = counts[rows].astype(np.float64)
+        larger_counts = counts[cols].astype(np.float64)
+        confidences = np.divide(
+            larger_counts,
+            smaller_counts,
+            out=np.zeros_like(larger_counts),
+            where=smaller_counts != 0,
+        )
+        # One vectorised threshold pass instead of a per-pair Python test.
+        # Confidence 1 between two *distinct* closed sets would mean the
+        # smaller one is not closed; guarded for malformed input.
+        keep = (confidences < 1.0 - EPSILON) & (
+            confidences >= self._minconf - EPSILON
+        )
+        members = lattice.members
+        supports = lattice.support_counts()
         n_objects = self._closed.n_objects
-        for pair in self._pairs:
-            confidence = pair.confidence
-            if confidence >= 1.0 - _EPSILON:
-                # Two distinct closed itemsets always have distinct supports
-                # along a subset chain; a confidence of 1 would mean the
-                # smaller one is not closed.  Guarded for malformed input.
-                continue
-            if confidence < self._minconf - _EPSILON:
-                continue
-            support = pair.larger_count / n_objects if n_objects else 0.0
+        for row, col, confidence in zip(
+            np.asarray(rows)[keep], np.asarray(cols)[keep], confidences[keep]
+        ):
+            smaller = members[row]
+            larger = members[col]
+            larger_count = int(supports[col])
             yield AssociationRule(
-                antecedent=pair.smaller,
-                consequent=pair.larger.difference(pair.smaller),
-                support=support,
-                confidence=confidence,
-                support_count=pair.larger_count,
+                antecedent=smaller,
+                consequent=larger.difference(smaller),
+                support=larger_count / n_objects if n_objects else 0.0,
+                confidence=float(confidence),
+                support_count=larger_count,
             )
 
     # ------------------------------------------------------------------
@@ -146,6 +146,16 @@ class LuxenburgerBasis:
         """The basis rules as a :class:`~repro.core.rules.RuleSet`."""
         return self._rules
 
+    @property
+    def metadata(self) -> dict[str, object]:
+        """Shape metadata for the reduction reports."""
+        return {
+            "transitive_reduction": self._reduced,
+            "minconf": self._minconf,
+            "lattice_nodes": len(self._lattice),
+            "lattice_edges": self._lattice.edge_count(),
+        }
+
     def __len__(self) -> int:
         return len(self._rules)
 
@@ -168,35 +178,31 @@ class LuxenburgerBasis:
         return None if rule is None else rule.confidence
 
     def path_confidence(self, smaller: Itemset, larger: Itemset) -> float | None:
-        """Confidence between two comparable closed itemsets via lattice paths.
+        """Confidence between two comparable closed itemsets via the lattice.
 
         For the reduced basis the confidence of ``smaller → larger`` is the
         product of the edge confidences along *any* path from ``smaller``
-        to ``larger`` in the Hasse diagram (all paths give the same
-        product, namely ``supp(larger) / supp(smaller)``).  Returns ``None``
-        when the two itemsets are not comparable in the lattice.
+        to ``larger`` in the Hasse diagram; all paths give the same
+        product, namely ``supp(larger) / supp(smaller)``, which the
+        lattice's containment arrays answer directly without walking a
+        path.  Returns ``None`` when the two itemsets are not comparable
+        in the lattice.
         """
         smaller = Itemset.coerce(smaller)
         larger = Itemset.coerce(larger)
-        if smaller == larger:
-            return 1.0
-        path = self._lattice.path_between(smaller, larger)
-        if path is None:
-            return None
-        confidence = 1.0
-        for lower, upper in zip(path, path[1:]):
-            confidence *= self._closed.support_count(
-                upper
-            ) / self._closed.support_count(lower)
-        return confidence
+        return self._lattice.confidence_between(smaller, larger)
 
 
 def build_luxenburger_basis(
     closed: ClosedItemsetFamily,
     minconf: float,
     transitive_reduction: bool = True,
+    lattice: IcebergLattice | None = None,
 ) -> LuxenburgerBasis:
     """Build the Luxenburger basis (reduced by default) of a closed family."""
     return LuxenburgerBasis(
-        closed, minconf=minconf, transitive_reduction=transitive_reduction
+        closed,
+        minconf=minconf,
+        transitive_reduction=transitive_reduction,
+        lattice=lattice,
     )

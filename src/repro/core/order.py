@@ -1,0 +1,124 @@
+"""Vectorised containment order over a family of itemsets.
+
+This module is the numeric core of the iceberg-lattice construction: given
+a family of itemsets it packs each member into a row of uint64 item-masks
+(the same little-endian ``np.packbits`` layout as the integer bitsets of
+:mod:`repro.engine.bitops`), computes the full strict-containment relation
+with bulk AND/compare passes over the packed matrix, and derives the Hasse
+diagram by boolean-matrix transitive reduction.
+
+The containment relation of a family of *distinct* sets is a strict
+partial order and hence already transitively closed, so the Hasse edges
+are exactly ``proper & ~(proper @ proper)`` — a pair is immediate iff no
+third member lies strictly in between — which one float32 matrix product
+evaluates for the whole family at once.
+
+All functions are pure and operate on plain numpy arrays; the
+:class:`~repro.core.lattice.IcebergLattice` wrapper attaches itemset
+semantics (members, supports, accessors) on top.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .itemset import Itemset, _sort_key
+
+__all__ = [
+    "pack_itemset_masks",
+    "containment_matrix",
+    "hasse_reduction",
+    "containment_and_hasse",
+]
+
+#: Upper bound (in bools) on the temporary blocks used by the chunked
+#: containment / reduction passes, so huge families do not allocate
+#: several full n x n intermediates at once.
+_BLOCK_CELLS = 1 << 24
+
+
+def pack_itemset_masks(
+    itemsets: Sequence[Itemset],
+) -> tuple[np.ndarray, list[object]]:
+    """Pack *itemsets* into a ``(n, n_words)`` uint64 item-mask matrix.
+
+    Returns the packed matrix and the item universe in the canonical order
+    used for bit positions: bit ``i`` of a row (little-endian across the
+    uint64 words) is set iff the member contains ``universe[i]``.
+    """
+    universe_set = {item for member in itemsets for item in member}
+    try:
+        universe = sorted(universe_set)
+    except TypeError:
+        universe = sorted(universe_set, key=_sort_key)
+    index = {item: position for position, item in enumerate(universe)}
+
+    n = len(itemsets)
+    presence = np.zeros((n, len(universe)), dtype=bool)
+    for row, member in enumerate(itemsets):
+        for item in member:
+            presence[row, index[item]] = True
+    packed = np.packbits(presence, axis=1, bitorder="little")
+    pad = (-packed.shape[1]) % 8
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(packed).view(np.uint64), universe
+
+
+def containment_matrix(masks: np.ndarray) -> np.ndarray:
+    """Strict-containment matrix of a packed family of distinct itemsets.
+
+    ``result[i, j]`` is ``True`` iff row ``i`` is a proper subset of row
+    ``j``.  Rows must be pairwise distinct (guaranteed for the members of
+    an :class:`~repro.core.families.ItemsetFamily`), so subset-and-equal
+    only happens on the diagonal, which is cleared.
+    """
+    n, n_words = masks.shape
+    proper = np.empty((n, n), dtype=bool)
+    block = max(1, _BLOCK_CELLS // max(1, n))
+    for start in range(0, n, block):
+        rows = masks[start : start + block]
+        subset = np.ones((rows.shape[0], n), dtype=bool)
+        for word in range(n_words):
+            column = rows[:, word][:, None]
+            subset &= (column & masks[None, :, word]) == column
+        proper[start : start + block] = subset
+    np.fill_diagonal(proper, False)
+    return proper
+
+
+def hasse_reduction(proper: np.ndarray) -> np.ndarray:
+    """Transitive reduction of a strict partial order given as a bool matrix.
+
+    Because a containment relation is transitive, a pair ``(i, j)`` has an
+    intermediate element iff ``(proper @ proper)[i, j]`` is non-zero; the
+    Hasse diagram keeps exactly the pairs without one.  The products run
+    in float32 so they are dispatched to BLAS, but the cast happens block
+    by block on both operands — only ``O(block * n)`` float temporaries
+    ever exist, never a dense float copy of the whole matrix.
+    """
+    n = proper.shape[0]
+    if n == 0:
+        return proper.copy()
+    hasse = np.empty_like(proper)
+    block = max(1, _BLOCK_CELLS // max(1, n))
+    for start in range(0, n, block):
+        rows = proper[start : start + block]
+        two_step = np.zeros(rows.shape, dtype=np.float32)
+        for mid in range(0, n, block):
+            two_step += rows[:, mid : mid + block].astype(np.float32) @ proper[
+                mid : mid + block
+            ].astype(np.float32)
+        hasse[start : start + block] = rows & ~(two_step > 0.5)
+    return hasse
+
+
+def containment_and_hasse(
+    itemsets: Sequence[Itemset],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper: pack, order and reduce a family in one call."""
+    masks, _ = pack_itemset_masks(itemsets)
+    proper = containment_matrix(masks)
+    return proper, hasse_reduction(proper)

@@ -20,11 +20,10 @@ from collections.abc import Iterable, Iterator
 from typing import Callable
 
 from ..errors import InconsistentRuleError
+from .constants import EPSILON
 from .itemset import Item, Itemset
 
 __all__ = ["AssociationRule", "RuleSet"]
-
-_EPSILON = 1e-12
 
 
 class AssociationRule:
@@ -74,9 +73,9 @@ class AssociationRule:
             raise InconsistentRuleError(
                 f"antecedent {antecedent} and consequent {consequent} overlap"
             )
-        if not (0.0 - _EPSILON) <= support <= (1.0 + _EPSILON):
+        if not (0.0 - EPSILON) <= support <= (1.0 + EPSILON):
             raise InconsistentRuleError(f"support {support} outside [0, 1]")
-        if confidence <= 0.0 or confidence > 1.0 + _EPSILON:
+        if confidence <= 0.0 or confidence > 1.0 + EPSILON:
             raise InconsistentRuleError(f"confidence {confidence} outside (0, 1]")
         object.__setattr__(self, "_antecedent", antecedent)
         object.__setattr__(self, "_consequent", consequent)
@@ -120,7 +119,7 @@ class AssociationRule:
     @property
     def is_exact(self) -> bool:
         """``True`` for 100 %-confidence (exact) rules."""
-        return self._confidence >= 1.0 - _EPSILON
+        return self._confidence >= 1.0 - EPSILON
 
     @property
     def is_approximate(self) -> bool:
@@ -267,11 +266,11 @@ class RuleSet:
 
     def with_min_confidence(self, minconf: float) -> "RuleSet":
         """Return the rules whose confidence is at least *minconf*."""
-        return self.filter(lambda r: r.confidence >= minconf - _EPSILON)
+        return self.filter(lambda r: r.confidence >= minconf - EPSILON)
 
     def with_min_support(self, minsup: float) -> "RuleSet":
         """Return the rules whose support is at least *minsup*."""
-        return self.filter(lambda r: r.support >= minsup - _EPSILON)
+        return self.filter(lambda r: r.support >= minsup - EPSILON)
 
     # ------------------------------------------------------------------
     # Set comparison (by rule identity)

@@ -2,6 +2,7 @@
 
 from .config import DatasetSpec, all_specs, dense_specs, smoke_specs, sparse_specs
 from .harness import (
+    DEFAULT_BASES,
     ItemsetMiningResult,
     RuleArtifacts,
     build_rule_artifacts,
@@ -29,6 +30,7 @@ __all__ = [
     "dense_specs",
     "sparse_specs",
     "smoke_specs",
+    "DEFAULT_BASES",
     "ItemsetMiningResult",
     "RuleArtifacts",
     "mine_itemsets",

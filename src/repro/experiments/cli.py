@@ -1,24 +1,27 @@
-"""Command-line interface: ``repro-mine``.
+"""Command-line interface: ``repro`` (also installed as ``repro-mine``).
 
-The CLI gives quick terminal access to the three things users do most:
+The CLI gives quick terminal access to the things users do most:
 
-* ``repro-mine stats`` — dataset characteristics of the benchmark suite;
-* ``repro-mine mine --dataset <file> --minsup 0.3`` — mine a basket file
+* ``repro stats`` — dataset characteristics of the benchmark suite;
+* ``repro mine --dataset <file> --minsup 0.3`` — mine a basket file
   and print the frequent closed itemsets;
-* ``repro-mine bases --dataset <file> --minsup 0.3 --minconf 0.7`` — mine
+* ``repro bases --dataset <file> --minsup 0.3 --minconf 0.7`` — mine
   a basket file and print the Duquenne-Guigues and Luxenburger bases with
-  the reduction report;
-* ``repro-mine experiment T3`` — regenerate one of the paper tables
+  the reduction report; ``--bases dg,generic,...`` selects any subset of
+  the registered rule bases by name and ``repro list-bases`` lists them;
+* ``repro experiment T3`` — regenerate one of the paper tables
   (T1–T5, F1–F3, A1–A2) on the benchmark-scale datasets.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
 from ..algorithms.close import Close
+from ..bases import DEFAULT_BASES, available_bases, get_basis, resolve_basis_names
 from ..data.io import load_basket_file
 from ..engine import ENGINES
 from . import tables
@@ -43,9 +46,9 @@ _EXPERIMENTS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the ``repro-mine`` argument parser."""
+    """Build the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro-mine",
+        prog="repro",
         description="Mining bases for association rules using closed sets "
         "(ICDE 2000 reproduction)",
     )
@@ -88,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="closure engine backend (default: per-miner default)",
     )
+    bases.add_argument(
+        "--bases",
+        default=None,
+        metavar="NAME,NAME",
+        help="comma-separated registered bases to build "
+        f"(default: {','.join(DEFAULT_BASES)}; see `list-bases`)",
+    )
+
+    subparsers.add_parser(
+        "list-bases", help="list the registered rule bases and their descriptions"
+    )
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper tables / figures"
@@ -126,30 +140,60 @@ def _command_mine(args: argparse.Namespace) -> int:
 def _command_bases(args: argparse.Namespace) -> int:
     database = load_basket_file(args.dataset)
     mining = mine_itemsets(database, args.minsup, engine=args.engine)
-    artifacts = build_rule_artifacts(mining, minconf=args.minconf)
-    report = artifacts.report
+    selection = resolve_basis_names(args.bases)
+    artifacts = build_rule_artifacts(mining, minconf=args.minconf, bases=selection)
 
     print(f"Dataset {database.name}: minsup={args.minsup}, minconf={args.minconf}")
     print(
         f"  frequent itemsets: {len(mining.frequent)}, "
         f"frequent closed itemsets: {len(mining.closed)}"
     )
-    print(
-        f"  all rules: {report.all_rules} "
-        f"(exact {report.all_exact_rules}, approximate {report.all_approximate_rules})"
-    )
-    print(
-        f"  bases: Duquenne-Guigues {report.dg_basis_size}, "
-        f"Luxenburger reduced {report.luxenburger_reduced_size} "
-        f"(total reduction x{report.total_reduction_factor:.1f})"
-    )
+    if set(DEFAULT_BASES) <= set(selection):
+        report = artifacts.report
+        print(
+            f"  all rules: {report.all_rules} "
+            f"(exact {report.all_exact_rules}, "
+            f"approximate {report.all_approximate_rules})"
+        )
+        print(
+            f"  bases: Duquenne-Guigues {report.dg_basis_size}, "
+            f"Luxenburger reduced {report.luxenburger_reduced_size} "
+            f"(total reduction x{report.total_reduction_factor:.1f})"
+        )
+    else:
+        for name in selection:
+            built = artifacts[name]
+            print(f"  {name} [{built.kind}]: {len(built)} rules")
 
-    print("\nDuquenne-Guigues basis (exact rules):")
-    for rule in list(artifacts.dg_basis.rules.sorted_rules())[: args.limit]:
-        print(f"  {rule}")
-    print("\nLuxenburger reduced basis (approximate rules):")
-    for rule in list(artifacts.luxenburger_reduced.rules.sorted_rules())[: args.limit]:
-        print(f"  {rule}")
+    if args.bases is None:
+        # The classic output: the paper's two minimal bases, in full.
+        sections = [
+            ("Duquenne-Guigues basis (exact rules)", artifacts["dg"]),
+            (
+                "Luxenburger reduced basis (approximate rules)",
+                artifacts["luxenburger-reduced"],
+            ),
+        ]
+    else:
+        sections = [
+            (f"{name} [{artifacts[name].kind}] — {get_basis(name).description}",
+             artifacts[name])
+            for name in selection
+        ]
+    for title, built in sections:
+        print(f"\n{title}:")
+        for rule in built.rules.sorted_rules()[: args.limit]:
+            print(f"  {rule}")
+        remaining = len(built) - args.limit
+        if args.bases is not None and remaining > 0:
+            print(f"  ... and {remaining} more")
+    return 0
+
+
+def _command_list_bases(args: argparse.Namespace) -> int:
+    for name, description in available_bases().items():
+        kind = get_basis(name).kind
+        print(f"{name:<22} [{kind:<11}] {description}")
     return 0
 
 
@@ -162,16 +206,24 @@ def _command_experiment(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point of the ``repro-mine`` console script."""
+    """Entry point of the ``repro`` / ``repro-mine`` console scripts."""
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
         "stats": _command_stats,
         "mine": _command_mine,
         "bases": _command_bases,
+        "list-bases": _command_list_bases,
         "experiment": _command_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream consumer closed the pipe (e.g. `repro bases | head`):
+        # not an error.  Point stdout at devnull so the interpreter's
+        # shutdown flush does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Callable
 
+from ..bases import DEFAULT_BASES
 from ..data.benchmarks_data import make_c20d10k, make_c73d10k, make_mushroom
 from ..data.context import TransactionDatabase
 from ..data.synthetic import make_quest_dataset
@@ -32,6 +33,7 @@ __all__ = [
     "all_specs",
     "smoke_specs",
     "DEFAULT_MINCONFS",
+    "DEFAULT_BASES",
 ]
 
 #: Confidence thresholds used by the rule-count experiments (T4, T5, F3).
@@ -59,6 +61,11 @@ class DatasetSpec:
     #: Whether the dataset is dense/correlated (census-like) or sparse
     #: (market-basket-like); reports group by this flag.
     dense: bool = True
+    #: Registered rule bases the rule experiments build for this dataset
+    #: (names from :mod:`repro.bases`).  The classic reduction tables need
+    #: the default four; extend the tuple to also time/count the
+    #: generator-backed bases.
+    bases: tuple[str, ...] = DEFAULT_BASES
 
     @property
     def rule_sweep(self) -> tuple[float, ...]:

@@ -5,31 +5,41 @@ both go through this harness so that "what exactly was run" has a single
 definition.  Three building blocks cover every table and figure:
 
 * :func:`mine_itemsets` — run Apriori and Close on one dataset at one
-  threshold, returning both families and the timing/counting statistics;
-* :func:`build_rule_artifacts` — from the mined families, build every rule
-  artefact of the paper (all exact rules, all approximate rules, the
-  Duquenne-Guigues basis, the full and reduced Luxenburger bases) plus the
-  reduction report comparing their sizes;
+  threshold, returning both families (plus the minimal generators Close
+  discovered on the way) and the timing/counting statistics;
+* :func:`build_rule_artifacts` — from the mined families, build any
+  selection of the registered rule bases by name (default: the four
+  artefacts of the paper's reduction tables) plus the reduction report
+  comparing their sizes;
 * :func:`time_algorithms` — run a list of miners over a support sweep and
   record wall-clock times (the execution-time figures).
+
+Rule bases are selected through the string-keyed registry of
+:mod:`repro.bases` (``"all"``, ``"dg"``, ``"luxenburger-reduced"``, …)
+instead of one hard-coded attribute per basis; the classic attribute
+accessors (``artifacts.dg_basis`` and friends) remain as thin views over
+the selection.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import cached_property
 
 from ..algorithms.aclose import AClose
 from ..algorithms.apriori import Apriori
 from ..algorithms.base import MiningAlgorithm, MiningRun
 from ..algorithms.charm import Charm
 from ..algorithms.close import Close
-from ..algorithms.rule_generation import generate_all_rules
-from ..core.dg_basis import DuquenneGuiguesBasis, build_duquenne_guigues_basis
+from ..bases import DEFAULT_BASES, BasisContext, BuiltBasis, build_bases
+from ..core.dg_basis import DuquenneGuiguesBasis
 from ..core.families import ClosedItemsetFamily, ItemsetFamily
+from ..core.generators import GeneratorFamily
 from ..core.luxenburger import LuxenburgerBasis
-from ..core.redundancy import ReductionReport, reduction_report
+from ..core.redundancy import ReductionReport
 from ..core.rules import RuleSet
 from ..data.context import TransactionDatabase
+from ..errors import InvalidParameterError
 
 __all__ = [
     "ItemsetMiningResult",
@@ -38,6 +48,7 @@ __all__ = [
     "build_rule_artifacts",
     "time_algorithms",
     "default_algorithms",
+    "DEFAULT_BASES",
 ]
 
 
@@ -49,6 +60,9 @@ class ItemsetMiningResult:
     minsup: float
     apriori_run: MiningRun
     close_run: MiningRun
+    #: Minimal generators per closed itemset, recorded by the Close run
+    #: (consumed by the generator-backed bases).
+    generators_by_closure: dict = field(default_factory=dict)
 
     @property
     def frequent(self) -> ItemsetFamily:
@@ -60,33 +74,108 @@ class ItemsetMiningResult:
         """The frequent closed itemsets (Close output)."""
         return self.close_run.family  # type: ignore[return-value]
 
+    @cached_property
+    def generator_family(self) -> GeneratorFamily:
+        """The minimal generators as a validated :class:`GeneratorFamily`."""
+        return GeneratorFamily(self.closed, self.generators_by_closure)
+
+    def basis_context(self, minconf: float) -> BasisContext:
+        """A :class:`BasisContext` over the mined families.
+
+        The generator family is attached lazily so selections without a
+        generator-backed basis never build or validate it.
+        """
+        return BasisContext(
+            closed=self.closed,
+            minconf=minconf,
+            frequent=self.frequent,
+            generators_factory=lambda: self.generator_family,
+        )
+
 
 @dataclass
 class RuleArtifacts:
-    """Every rule artefact the paper compares, for one (minsup, minconf) cell."""
+    """The rule bases built for one (dataset, minsup, minconf) cell.
+
+    ``bases`` maps registry names to built bases, in selection order.  The
+    classic attribute accessors (:attr:`all_rules`, :attr:`dg_basis`,
+    :attr:`luxenburger_reduced`, …) are views over that mapping and raise
+    a clear error when the corresponding basis was not selected.
+    """
 
     database_name: str
     minsup: float
     minconf: float
-    all_rules: RuleSet
-    all_exact: RuleSet
-    all_approximate: RuleSet
-    dg_basis: DuquenneGuiguesBasis
-    luxenburger_full: LuxenburgerBasis
-    luxenburger_reduced: LuxenburgerBasis
+    bases: dict[str, BuiltBasis]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The selected basis names, in selection order."""
+        return tuple(self.bases)
+
+    def __getitem__(self, name: str) -> BuiltBasis:
+        return self._get(name)
+
+    def _get(self, name: str) -> BuiltBasis:
+        try:
+            return self.bases[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"basis {name!r} was not built; selected bases: "
+                f"{', '.join(self.bases) or '(none)'}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Classic accessors (the pre-registry harness surface)
+    # ------------------------------------------------------------------
+    @property
+    def all_rules(self) -> RuleSet:
+        """Every valid rule above minconf (the naive baseline)."""
+        return self._get("all").rules
+
+    @cached_property
+    def all_exact(self) -> RuleSet:
+        """The exact subset of :attr:`all_rules`."""
+        return self.all_rules.exact_rules()
+
+    @cached_property
+    def all_approximate(self) -> RuleSet:
+        """The approximate subset of :attr:`all_rules`."""
+        return self.all_rules.approximate_rules()
+
+    @property
+    def dg_basis(self) -> DuquenneGuiguesBasis:
+        """The Duquenne-Guigues basis construction."""
+        return self._get("dg").source  # type: ignore[return-value]
+
+    @property
+    def luxenburger_full(self) -> LuxenburgerBasis:
+        """The full (non-reduced) Luxenburger basis construction."""
+        return self._get("luxenburger").source  # type: ignore[return-value]
+
+    @property
+    def luxenburger_reduced(self) -> LuxenburgerBasis:
+        """The transitively reduced Luxenburger basis construction."""
+        return self._get("luxenburger-reduced").source  # type: ignore[return-value]
 
     @property
     def report(self) -> ReductionReport:
-        """Size-comparison report (one row of the reduction tables)."""
-        return reduction_report(
+        """Size-comparison report (one row of the reduction tables).
+
+        Needs the four classic bases (``all``, ``dg``, ``luxenburger``,
+        ``luxenburger-reduced``) in the selection; the exact/approximate
+        splits reuse the cached :attr:`all_exact` / :attr:`all_approximate`
+        views rather than re-filtering the full rule set per access.
+        """
+        return ReductionReport(
             dataset=self.database_name,
             minsup=self.minsup,
             minconf=self.minconf,
-            all_exact=self.all_exact,
-            dg_basis=self.dg_basis,
-            all_approximate=self.all_approximate,
-            luxenburger_full=self.luxenburger_full.rules,
-            luxenburger_reduced=self.luxenburger_reduced.rules,
+            all_exact_rules=len(self.all_exact),
+            dg_basis_size=len(self._get("dg").rules),
+            all_approximate_rules=len(self.all_approximate),
+            luxenburger_full_size=len(self._get("luxenburger").rules),
+            luxenburger_reduced_size=len(self._get("luxenburger-reduced").rules),
         )
 
 
@@ -108,39 +197,35 @@ def mine_itemsets(
     apriori_run = Apriori(minsup, max_size=apriori_max_size, engine=engine).run(
         database
     )
-    close_run = Close(minsup, engine=engine).run(database)
+    close = Close(minsup, engine=engine)
+    close_run = close.run(database)
     return ItemsetMiningResult(
         database=database,
         minsup=minsup,
         apriori_run=apriori_run,
         close_run=close_run,
+        generators_by_closure=close.generators_by_closure,
     )
 
 
 def build_rule_artifacts(
-    mining: ItemsetMiningResult, minconf: float
+    mining: ItemsetMiningResult,
+    minconf: float,
+    bases: str | tuple[str, ...] | list[str] | None = None,
 ) -> RuleArtifacts:
-    """Build all rule sets and bases for one (dataset, minsup, minconf) cell."""
-    frequent = mining.frequent
-    closed = mining.closed
-    all_rules = generate_all_rules(frequent, minconf=minconf)
-    dg_basis = build_duquenne_guigues_basis(frequent, closed)
-    luxenburger_full = LuxenburgerBasis(
-        closed, minconf=minconf, transitive_reduction=False
-    )
-    luxenburger_reduced = LuxenburgerBasis(
-        closed, minconf=minconf, transitive_reduction=True
-    )
+    """Build a selection of rule bases for one (dataset, minsup, minconf) cell.
+
+    ``bases`` names the registered bases to build (a comma-separated
+    string or a sequence; ``None`` selects the paper's four classic
+    artefacts).  All selected bases share one :class:`BasisContext`, and
+    therefore one vectorised iceberg-lattice construction.
+    """
+    context = mining.basis_context(minconf)
     return RuleArtifacts(
         database_name=mining.database.name,
         minsup=mining.minsup,
         minconf=minconf,
-        all_rules=all_rules,
-        all_exact=all_rules.exact_rules(),
-        all_approximate=all_rules.approximate_rules(),
-        dg_basis=dg_basis,
-        luxenburger_full=luxenburger_full,
-        luxenburger_reduced=luxenburger_reduced,
+        bases=build_bases(context, bases),
     )
 
 

@@ -100,7 +100,7 @@ def table3_exact_rules(
     for spec, database in _build_databases(specs):
         for minsup in spec.rule_sweep:
             mining = mine_itemsets(database, minsup)
-            artifacts = build_rule_artifacts(mining, minconf=1.0)
+            artifacts = build_rule_artifacts(mining, minconf=1.0, bases=spec.bases)
             report = artifacts.report
             rows.append(
                 {
@@ -127,7 +127,9 @@ def table4_approximate_rules(
         for minsup in spec.rule_sweep:
             mining = mine_itemsets(database, minsup)
             for minconf in spec.minconfs:
-                artifacts = build_rule_artifacts(mining, minconf=minconf)
+                artifacts = build_rule_artifacts(
+                    mining, minconf=minconf, bases=spec.bases
+                )
                 report = artifacts.report
                 rows.append(
                     {
@@ -156,7 +158,9 @@ def table5_total_reduction(
         minsup = spec.rule_sweep[-1]
         mining = mine_itemsets(database, minsup)
         for minconf in spec.minconfs:
-            report = build_rule_artifacts(mining, minconf=minconf).report
+            report = build_rule_artifacts(
+                mining, minconf=minconf, bases=spec.bases
+            ).report
             rows.append(
                 {
                     "dataset": spec.name,
@@ -209,7 +213,9 @@ def figure3_rules_vs_minconf(
         minsup = spec.rule_sweep[0]
         mining = mine_itemsets(database, minsup)
         for minconf in minconfs:
-            report = build_rule_artifacts(mining, minconf=minconf).report
+            report = build_rule_artifacts(
+                mining, minconf=minconf, bases=spec.bases
+            ).report
             rows.append(
                 {
                     "dataset": spec.name,
@@ -237,7 +243,9 @@ def ablation_transitive_reduction(
         minsup = spec.rule_sweep[0]
         mining = mine_itemsets(database, minsup)
         for minconf in spec.minconfs:
-            artifacts = build_rule_artifacts(mining, minconf=minconf)
+            artifacts = build_rule_artifacts(
+                mining, minconf=minconf, bases=spec.bases
+            )
             full = len(artifacts.luxenburger_full)
             reduced = len(artifacts.luxenburger_reduced)
             rows.append(
