@@ -24,6 +24,7 @@ from repro.core.itemset import Itemset
 from repro.core.lattice import IcebergLattice, hasse_edges_reference
 from repro.core.luxenburger import LuxenburgerBasis
 from repro.data.benchmarks_data import make_mushroom
+from repro.data.synthetic import make_star_closed_family
 from repro.engine import make_engine
 from repro.experiments.harness import mine_itemsets
 
@@ -79,6 +80,22 @@ def test_lattice_reference_builder(benchmark, mined):
     """The pre-vectorisation per-pair Hasse builder (baseline, not gated)."""
     edges = benchmark(lambda: hasse_edges_reference(mined.closed))
     assert len(edges) > 0
+
+
+def test_engine_lattice_packed_large(benchmark):
+    """Bit-packed lattice build on a 16k-node synthetic closed family.
+
+    16k nodes is past the auto dense->packed threshold, so this times the
+    :mod:`repro.core.bitmatrix` order core (blocked packed containment +
+    gather/OR-reduce transitive reduction) on a family the dense matrices
+    would spend ~0.5 GB on.  The star family's Hasse structure is known
+    analytically, so the result is asserted edge-for-edge.  Gated by the
+    CI regression check (the name matches the ``engine`` filter).
+    """
+    family = make_star_closed_family(16_386)
+    lattice = benchmark(lambda: IcebergLattice(family, strategy="packed"))
+    assert lattice.strategy == "packed"
+    assert lattice.edge_count() == 2 * 16_384
 
 
 def test_closure_computation(benchmark, mushroom):

@@ -27,9 +27,11 @@ benchmarks whose name contains the ``--filter`` substring are gated
 ``bench_algorithms_micro.py``), because the table/figure reproductions
 are single-shot and too noisy to gate on.
 
-Benchmarks present in only one side are reported but never fail the
-check, so adding or renaming a benchmark does not break CI.  In CI this
-runs as a *blocking* step of the benchmark job.
+Benchmarks present in only one side never fail the check, so adding or
+renaming a benchmark does not break CI — but benchmarks that exist in
+the baseline and are *missing* from the current run are listed with a
+loud ``WARNING`` (deleting a benchmark is otherwise an easy way to dodge
+the gate).  In CI this runs as a *blocking* step of the benchmark job.
 """
 
 from __future__ import annotations
@@ -150,9 +152,21 @@ def main(argv: list[str] | None = None) -> int:
     only_base = sorted(baseline.keys() - current.keys())
     only_current = sorted(current.keys() - baseline.keys())
     if only_base:
-        print(f"note: {len(only_base)} benchmark(s) only in baseline (ignored)")
+        # A benchmark that exists in the baseline but not in the current
+        # run cannot regress by definition — deleting or renaming one is
+        # therefore an easy way to dodge the gate.  It never *fails* the
+        # check (renames and intentional removals are legitimate), but it
+        # must be impossible to miss in the log.
+        print(
+            f"\nWARNING: {len(only_base)} benchmark(s) present in baseline "
+            "but MISSING from current — a deleted or renamed benchmark "
+            "silently escapes the regression gate:"
+        )
+        for name in only_base:
+            gated_note = " [was gated]" if args.filter in name else ""
+            print(f"  MISSING {name}{gated_note}")
     if only_current:
-        print(f"note: {len(only_current)} benchmark(s) only in current (ignored)")
+        print(f"note: {len(only_current)} benchmark(s) only in current (new; ignored)")
 
     if regressions:
         print(

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Merge pytest-benchmark JSON runs into one normalized trajectory file.
+
+Usage::
+
+    python scripts/merge_bench_runs.py run1.json run2.json run3.json \
+        --output BENCH_abc1234.json [--commit abc1234]
+
+CI's bench-smoke job runs the microbenchmark suite three times (best-of-3
+damps runner variance) and leaves three raw pytest-benchmark JSONs behind
+— useful for debugging one run, useless for tracking performance across
+PRs.  This script folds them into a single small, stable-schema document
+keyed by the short commit SHA, so the artifact series
+``BENCH_<short-sha>.json`` forms a machine-readable performance
+trajectory of the repository:
+
+.. code-block:: json
+
+    {
+        "schema": 1,
+        "commit": "abc1234",
+        "runs": 3,
+        "benchmarks": {
+            "<fullname>": {"median": 0.0112, "mean": 0.0115, "rounds": 42}
+        }
+    }
+
+``median``/``mean`` are the best (minimum) per-benchmark values across
+the runs — the same best-of-N statistic ``check_bench_regression.py``
+gates on — and ``rounds`` is summed over the runs that contained the
+benchmark.  Missing or unreadable run files are skipped with a note, so
+one flaky run does not break the artifact; having zero readable runs is
+an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_run(path: Path) -> dict | None:
+    """One raw pytest-benchmark payload, or ``None`` when unreadable."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"note: cannot read benchmark file {path} ({exc}); skipped")
+        return None
+
+
+def merge_runs(payloads: list[dict]) -> dict[str, dict[str, float | int]]:
+    """Best-of-N medians/means (and summed rounds) per benchmark fullname."""
+    merged: dict[str, dict[str, float | int]] = {}
+    for payload in payloads:
+        for bench in payload.get("benchmarks", []):
+            name = bench.get("fullname") or bench.get("name")
+            stats = bench.get("stats") or {}
+            median = stats.get("median")
+            mean = stats.get("mean")
+            if not name or not isinstance(median, (int, float)) or median <= 0:
+                continue
+            entry = merged.setdefault(
+                name, {"median": float("inf"), "mean": float("inf"), "rounds": 0}
+            )
+            entry["median"] = min(entry["median"], float(median))
+            if isinstance(mean, (int, float)) and mean > 0:
+                entry["mean"] = min(entry["mean"], float(mean))
+            entry["rounds"] = int(entry["rounds"]) + int(stats.get("rounds") or 0)
+    for entry in merged.values():
+        if entry["mean"] == float("inf"):
+            entry["mean"] = entry["median"]
+    return merged
+
+
+def commit_from_payload(payloads: list[dict]) -> str | None:
+    """Short commit id recorded by pytest-benchmark, if any."""
+    for payload in payloads:
+        commit = (payload.get("commit_info") or {}).get("id")
+        if commit:
+            return str(commit)[:7]
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("runs", nargs="+", help="raw pytest-benchmark JSON files")
+    parser.add_argument(
+        "--output",
+        required=True,
+        help="path of the normalized trajectory JSON to write "
+        "(convention: BENCH_<short-sha>.json)",
+    )
+    parser.add_argument(
+        "--commit",
+        default=None,
+        help="commit id to record (default: pytest-benchmark's commit_info, "
+        "else 'unknown')",
+    )
+    args = parser.parse_args(argv)
+
+    payloads = [
+        payload
+        for payload in (load_run(Path(run)) for run in args.runs)
+        if payload is not None
+    ]
+    if not payloads:
+        print("error: no readable benchmark runs; nothing to merge", file=sys.stderr)
+        return 1
+
+    merged = merge_runs(payloads)
+    commit = args.commit or commit_from_payload(payloads) or "unknown"
+    document = {
+        "schema": 1,
+        "commit": commit,
+        "runs": len(payloads),
+        "benchmarks": {name: merged[name] for name in sorted(merged)},
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"wrote {output} ({len(merged)} benchmarks, best of {len(payloads)} "
+        f"runs, commit {commit})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,10 @@ class BasisContext:
         first use, so callers that *may* build a generator-backed basis
         do not pay for (or validate) the generators unless one is
         actually selected.
+    lattice_strategy:
+        Order-core strategy for the shared lattice (``"auto"``,
+        ``"dense"``, ``"packed"`` or ``"reference"``); see
+        :class:`~repro.core.lattice.IcebergLattice`.
     """
 
     closed: ClosedItemsetFamily
@@ -66,6 +70,7 @@ class BasisContext:
     generators_factory: Callable[[], GeneratorFamily] | None = field(
         default=None, repr=False, compare=False
     )
+    lattice_strategy: str = "auto"
     _lattice: IcebergLattice | None = field(
         default=None, repr=False, compare=False
     )
@@ -85,7 +90,9 @@ class BasisContext:
     def lattice(self) -> IcebergLattice:
         """The iceberg lattice of the closed family, built once and shared."""
         if self._lattice is None:
-            self._lattice = IcebergLattice(self.closed)
+            self._lattice = IcebergLattice(
+                self.closed, strategy=self.lattice_strategy
+            )
         return self._lattice
 
     def require_frequent(self, basis_name: str) -> ItemsetFamily:

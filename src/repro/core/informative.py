@@ -98,6 +98,10 @@ class InformativeBasis:
     lattice:
         Optional pre-built iceberg lattice of the generators' closed
         family, to share the lattice construction between bases.
+    lattice_strategy:
+        Order-core strategy used when the basis builds its own lattice
+        (ignored when ``lattice`` is given); see
+        :class:`~repro.core.lattice.IcebergLattice`.
     """
 
     def __init__(
@@ -106,6 +110,7 @@ class InformativeBasis:
         minconf: float,
         reduced: bool = True,
         lattice: IcebergLattice | None = None,
+        lattice_strategy: str = "auto",
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -118,7 +123,9 @@ class InformativeBasis:
         self._minconf = minconf
         self._reduced = reduced
         self._lattice = (
-            lattice if lattice is not None else IcebergLattice(self._closed)
+            lattice
+            if lattice is not None
+            else IcebergLattice(self._closed, strategy=lattice_strategy)
         )
         self._rules = RuleSet(self._build_rules())
 
@@ -128,7 +135,7 @@ class InformativeBasis:
         for closed in self._generators.closed_itemsets():
             lower_count = self._closed.support_count(closed)
             if self._reduced:
-                targets = lattice.immediate_successors(closed)
+                targets = lattice.children_of(closed)
             else:
                 # The lattice's containment row answers "every larger
                 # closed set" without re-scanning the whole family.

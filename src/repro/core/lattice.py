@@ -8,22 +8,33 @@ paths drive the derivation of approximate-rule confidences, so this
 module is shared by :mod:`repro.core.luxenburger` and
 :mod:`repro.core.derivation`.
 
-Construction is vectorised: the closed family is packed into uint64
-item-masks (:mod:`repro.core.order`), the full containment order comes
-from bulk AND/compare passes over the packed matrix and the Hasse edges
-from a boolean-matrix transitive reduction — no per-pair Python subset
-tests.  The resulting index arrays (edge endpoints, supports, edge
-confidences) are exposed directly so the basis constructions iterate
-numpy arrays instead of re-walking a graph; a :mod:`networkx` view is
-still available through :meth:`IcebergLattice.to_networkx` and is built
-lazily for the callers that want one.
+Construction is vectorised behind a **strategy seam**: the closed family
+is packed into uint64 item-masks and handed to one of the three order
+cores of :mod:`repro.core.order` —
 
-Trade-off: the lattice holds two dense ``n x n`` bool matrices (the
-containment order and its reduction) — ~2 MB combined at n = 1000,
-~200 MB at n = 10k.  That buys 4-8x faster construction and O(1)
-comparability/confidence queries on every workload this repo benchmarks;
-families beyond ~30k closed itemsets would want a bit-packed matrix
-(one uint64 word per 64 members), noted as an open item in ROADMAP.md.
+* ``dense`` — two dense bool passes (bulk AND/compare containment,
+  float32-BLAS transitive reduction); fastest up to ~10k nodes at
+  ``n**2`` bytes of steady-state memory;
+* ``packed`` — the bit-packed :class:`~repro.core.bitmatrix.BitMatrix`
+  order (``n**2 / 8`` bytes, blocked construction and gather/OR-reduce
+  reduction); the only core that loads 50k+-node families;
+* ``reference`` — the original per-pair pure-Python Hasse builder
+  (:func:`hasse_edges_reference`), kept as the oracle the vectorised
+  cores are checked against.
+
+``strategy="auto"`` (the default) picks dense below
+:data:`~repro.core.order.DENSE_NODE_LIMIT` nodes and packed above, and
+can be forced process-wide with the ``REPRO_LATTICE_STRATEGY``
+environment variable, per lattice with the constructor argument, or from
+the CLI with ``repro bases --lattice-strategy packed``.
+
+Downstream consumers never touch the underlying matrices: the basis
+constructions iterate the exposed edge/confidence index arrays, and the
+neighbourhood queries go through strategy-agnostic accessors
+(:meth:`IcebergLattice.children_of`, :meth:`IcebergLattice.parents_of`,
+:meth:`IcebergLattice.is_ancestor`, …).  A :mod:`networkx` view is still
+available through :meth:`IcebergLattice.to_networkx` and is built lazily
+for the callers that want one.
 """
 
 from __future__ import annotations
@@ -35,7 +46,7 @@ import numpy as np
 
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
-from .order import containment_matrix, hasse_reduction, pack_itemset_masks
+from .order import build_order_core, pack_itemset_masks, resolve_strategy
 
 __all__ = ["IcebergLattice", "hasse_edges_reference"]
 
@@ -88,6 +99,11 @@ class IcebergLattice:
     ----------
     closed:
         The frequent closed itemsets with their supports.
+    strategy:
+        Order-core strategy: ``"auto"`` (default; dense below the size
+        threshold, packed above, overridable via the
+        ``REPRO_LATTICE_STRATEGY`` environment variable), ``"dense"``,
+        ``"packed"`` or ``"reference"``.
 
     Examples
     --------
@@ -101,7 +117,7 @@ class IcebergLattice:
     5
     """
 
-    def __init__(self, closed: ClosedItemsetFamily) -> None:
+    def __init__(self, closed: ClosedItemsetFamily, strategy: str = "auto") -> None:
         self._closed = closed
         members = closed.itemsets()
         self._members: list[Itemset] = members
@@ -112,14 +128,21 @@ class IcebergLattice:
             [closed.support_count(member) for member in members], dtype=np.int64
         )
         masks, _ = pack_itemset_masks(members)
-        self._proper = containment_matrix(masks)
-        self._hasse = hasse_reduction(self._proper)
-        self._hasse_rows, self._hasse_cols = np.nonzero(self._hasse)
+        self._strategy = resolve_strategy(len(members), strategy)
+        reference_edges = None
+        if self._strategy == "reference":
+            edges = hasse_edges_reference(closed)
+            reference_edges = (
+                np.array([self._index[smaller] for smaller, _ in edges], dtype=np.int64),
+                np.array([self._index[larger] for _, larger in edges], dtype=np.int64),
+            )
+        self._core = build_order_core(masks, self._strategy, reference_edges)
+        self._hasse_rows, self._hasse_cols = self._core.hasse_indices()
         # The index/support arrays are handed out to the basis
         # constructions; freeze them so a consumer cannot corrupt the
-        # lattice shared through a BasisContext.
-        for array in (self._supports, self._hasse_rows, self._hasse_cols):
-            array.setflags(write=False)
+        # lattice shared through a BasisContext.  (The core freezes its
+        # own edge arrays.)
+        self._supports.setflags(write=False)
         self._graph_cache: nx.DiGraph | None = None
 
     # ------------------------------------------------------------------
@@ -129,6 +152,11 @@ class IcebergLattice:
     def closed_family(self) -> ClosedItemsetFamily:
         """The closed itemset family the lattice was built from."""
         return self._closed
+
+    @property
+    def strategy(self) -> str:
+        """The resolved order-core strategy (``dense``/``packed``/``reference``)."""
+        return self._strategy
 
     @property
     def members(self) -> list[Itemset]:
@@ -183,7 +211,7 @@ class IcebergLattice:
 
     def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
         """Every comparable pair as index arrays (the full, non-reduced order)."""
-        return np.nonzero(self._proper)
+        return self._core.containment_indices()
 
     def edge_confidences(self, full: bool = False) -> np.ndarray:
         """Confidence ``supp(larger)/supp(smaller)`` per edge (or per pair).
@@ -214,14 +242,27 @@ class IcebergLattice:
             return None
         if row == col:
             return 1.0
-        if not self._proper[row, col]:
+        if not self._core.is_ancestor(row, col):
             return None
         denominator = int(self._supports[row])
         return int(self._supports[col]) / denominator if denominator else 0.0
 
     # ------------------------------------------------------------------
-    # Order structure
+    # Order structure (strategy-agnostic accessors)
     # ------------------------------------------------------------------
+    def is_ancestor(self, smaller: Itemset, larger: Itemset) -> bool:
+        """``True`` iff both are nodes and ``smaller ⊂ larger`` (strictly).
+
+        "Ancestor" follows the edge direction of the Hasse diagram
+        (smaller → larger): the ancestors of a node are the closed sets
+        strictly below it in the containment order.
+        """
+        row = self._index.get(smaller)
+        col = self._index.get(larger)
+        if row is None or col is None or row == col:
+            return False
+        return self._core.is_ancestor(row, col)
+
     def hasse_edges(self) -> list[tuple[Itemset, Itemset]]:
         """Return the Hasse edges as ``(smaller, larger)`` pairs, sorted."""
         return sorted(
@@ -234,29 +275,43 @@ class IcebergLattice:
 
         This is the edge set of the *full* (non-reduced) Luxenburger basis.
         """
-        for row, col in zip(*np.nonzero(self._proper)):
+        for row, col in zip(*self.containment_indices()):
             yield (self._members[row], self._members[col])
 
     def proper_supersets(self, itemset: Itemset) -> list[Itemset]:
         """Every member strictly containing *itemset* (full-order row), sorted."""
         row = self._index[itemset]
-        return sorted(self._members[col] for col in np.nonzero(self._proper[row])[0])
+        return sorted(self._members[col] for col in self._core.order_row(row))
+
+    def children_of(self, itemset: Itemset) -> list[Itemset]:
+        """Closed supersets of *itemset* with no closed set strictly in between.
+
+        One Hasse step along the edge direction (smaller → larger).
+        """
+        row = self._index[itemset]
+        return sorted(self._members[col] for col in self._core.successors(row))
+
+    def parents_of(self, itemset: Itemset) -> list[Itemset]:
+        """Closed subsets of *itemset* with no closed set strictly in between.
+
+        One Hasse step against the edge direction (larger → smaller).
+        """
+        col = self._index[itemset]
+        return sorted(self._members[row] for row in self._core.predecessors(col))
 
     def immediate_successors(self, itemset: Itemset) -> list[Itemset]:
-        """Closed supersets of *itemset* with no closed set strictly in between."""
-        row = self._index[itemset]
-        return sorted(self._members[col] for col in np.nonzero(self._hasse[row])[0])
+        """Alias of :meth:`children_of` (the pre-seam accessor name)."""
+        return self.children_of(itemset)
 
     def immediate_predecessors(self, itemset: Itemset) -> list[Itemset]:
-        """Closed subsets of *itemset* with no closed set strictly in between."""
-        col = self._index[itemset]
-        return sorted(self._members[row] for row in np.nonzero(self._hasse[:, col])[0])
+        """Alias of :meth:`parents_of` (the pre-seam accessor name)."""
+        return self.parents_of(itemset)
 
     def minimal_elements(self) -> list[Itemset]:
         """Nodes with no predecessor (usually the single closure of ∅)."""
         if not self._members:
             return []
-        in_degree = self._hasse.sum(axis=0)
+        in_degree = self._core.in_degrees()
         return sorted(
             self._members[position] for position in np.nonzero(in_degree == 0)[0]
         )
@@ -265,7 +320,7 @@ class IcebergLattice:
         """Nodes with no successor (the maximal frequent closed itemsets)."""
         if not self._members:
             return []
-        out_degree = self._hasse.sum(axis=1)
+        out_degree = self._core.out_degrees()
         return sorted(
             self._members[position] for position in np.nonzero(out_degree == 0)[0]
         )
@@ -286,18 +341,21 @@ class IcebergLattice:
             return None
         if start == goal:
             return [smaller]
-        if not self._proper[start, goal]:
+        if not self._core.is_ancestor(start, goal):
             return None
-        at_most_goal = self._proper[:, goal].copy()
-        at_most_goal[goal] = True
         path = [smaller]
         current = start
         while current != goal:
             # In a containment order every node strictly below `goal` has
             # an immediate successor that is still <= goal, so the walk
             # always terminates in at most `height` steps.
-            successors = np.nonzero(self._hasse[current] & at_most_goal)[0]
-            current = int(successors[0])
+            for successor in self._core.successors(current):
+                successor = int(successor)
+                if successor == goal or self._core.is_ancestor(successor, goal):
+                    current = successor
+                    break
+            else:  # pragma: no cover - impossible for a well-formed order
+                return None
             path.append(self._members[current])
         return path
 

@@ -56,6 +56,10 @@ class LuxenburgerBasis:
         Optional pre-built iceberg lattice of *closed*; pass one to share
         the (vectorised, but not free) lattice construction between the
         bases built from the same closed family.
+    lattice_strategy:
+        Order-core strategy used when the basis builds its own lattice
+        (ignored when ``lattice`` is given); see
+        :class:`~repro.core.lattice.IcebergLattice`.
     """
 
     def __init__(
@@ -64,6 +68,7 @@ class LuxenburgerBasis:
         minconf: float,
         transitive_reduction: bool = True,
         lattice: IcebergLattice | None = None,
+        lattice_strategy: str = "auto",
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -74,7 +79,11 @@ class LuxenburgerBasis:
         self._closed = closed
         self._minconf = minconf
         self._reduced = transitive_reduction
-        self._lattice = lattice if lattice is not None else IcebergLattice(closed)
+        self._lattice = (
+            lattice
+            if lattice is not None
+            else IcebergLattice(closed, strategy=lattice_strategy)
+        )
         self._rules = RuleSet(self._build_rules())
 
     # ------------------------------------------------------------------
@@ -198,6 +207,7 @@ def build_luxenburger_basis(
     minconf: float,
     transitive_reduction: bool = True,
     lattice: IcebergLattice | None = None,
+    lattice_strategy: str = "auto",
 ) -> LuxenburgerBasis:
     """Build the Luxenburger basis (reduced by default) of a closed family."""
     return LuxenburgerBasis(
@@ -205,4 +215,5 @@ def build_luxenburger_basis(
         minconf=minconf,
         transitive_reduction=transitive_reduction,
         lattice=lattice,
+        lattice_strategy=lattice_strategy,
     )

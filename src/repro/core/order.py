@@ -1,29 +1,50 @@
-"""Vectorised containment order over a family of itemsets.
+"""Containment order cores over a family of itemsets — the strategy seam.
 
 This module is the numeric core of the iceberg-lattice construction: given
 a family of itemsets it packs each member into a row of uint64 item-masks
 (the same little-endian ``np.packbits`` layout as the integer bitsets of
-:mod:`repro.engine.bitops`), computes the full strict-containment relation
-with bulk AND/compare passes over the packed matrix, and derives the Hasse
-diagram by boolean-matrix transitive reduction.
+:mod:`repro.engine.bitops`), computes the full strict-containment relation,
+and derives the Hasse diagram by boolean-matrix transitive reduction.
 
 The containment relation of a family of *distinct* sets is a strict
 partial order and hence already transitively closed, so the Hasse edges
 are exactly ``proper & ~(proper @ proper)`` — a pair is immediate iff no
-third member lies strictly in between — which one float32 matrix product
-evaluates for the whole family at once.
+third member lies strictly in between.
 
-All functions are pure and operate on plain numpy arrays; the
-:class:`~repro.core.lattice.IcebergLattice` wrapper attaches itemset
-semantics (members, supports, accessors) on top.
+Three interchangeable **order cores** answer the order queries the
+lattice needs, each with a different memory/speed point:
+
+* :class:`DenseOrderCore` — one dense ``n x n`` bool containment matrix
+  (``n**2`` bytes) and a float32-BLAS transitive reduction; fastest
+  through ~10k nodes.
+* :class:`PackedOrderCore` — the bit-packed
+  :class:`~repro.core.bitmatrix.BitMatrix` order (``n**2 / 8`` bytes, one
+  uint64 word per 64 members) with blocked construction, popcount
+  degrees, and a gather/OR-reduce transitive reduction; breaks the dense
+  memory wall for families of 50k+ closed itemsets.
+* :class:`ReferenceOrderCore` — the pre-vectorisation per-pair builder's
+  edges plus mask-probing containment queries; ``O(n x words)`` memory,
+  kept as the oracle the other two are checked against.
+
+:func:`resolve_strategy` picks a core by family size (dense below
+:data:`DENSE_NODE_LIMIT` nodes, packed above); the
+``REPRO_LATTICE_STRATEGY`` environment variable or an explicit
+``strategy=`` argument to :class:`~repro.core.lattice.IcebergLattice`
+forces one.  All functions and cores operate on plain numpy arrays; the
+lattice wrapper attaches itemset semantics (members, supports, accessors)
+on top.
 """
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 import numpy as np
 
+from ..errors import InvalidParameterError
+from .bitmatrix import _BLOCK_CELLS as _PACKED_BLOCK_CELLS
+from .bitmatrix import packed_containment, packed_hasse_reduction
 from .itemset import Itemset, _sort_key
 
 __all__ = [
@@ -31,12 +52,65 @@ __all__ = [
     "containment_matrix",
     "hasse_reduction",
     "containment_and_hasse",
+    "resolve_strategy",
+    "build_order_core",
+    "OrderCore",
+    "DenseOrderCore",
+    "PackedOrderCore",
+    "ReferenceOrderCore",
+    "STRATEGIES",
+    "DENSE_NODE_LIMIT",
+    "STRATEGY_ENV_VAR",
 ]
+
+#: Valid values for the lattice ``strategy=`` parameter.
+STRATEGIES = ("auto", "dense", "packed", "reference")
+
+#: ``auto`` switches from the dense to the packed core at this node
+#: count: below it the two dense matrices fit comfortably (~200 MB at
+#: 10k nodes) and the BLAS reduction wins on speed; above it the packed
+#: core's 16x smaller footprint matters more.
+DENSE_NODE_LIMIT = 10_000
+
+#: Environment variable that overrides the ``auto`` strategy choice
+#: process-wide (e.g. ``REPRO_LATTICE_STRATEGY=packed repro bases ...``).
+STRATEGY_ENV_VAR = "REPRO_LATTICE_STRATEGY"
+
+
+def resolve_strategy(n_nodes: int, strategy: str | None = "auto") -> str:
+    """Resolve a lattice order strategy to ``dense``/``packed``/``reference``.
+
+    ``auto`` (or ``None``) consults :data:`STRATEGY_ENV_VAR` first, then
+    falls back to the size threshold: dense below
+    :data:`DENSE_NODE_LIMIT` nodes, packed at or above it.  Explicit
+    strategies pass through unchanged; unknown names raise.
+    """
+    if strategy is None:
+        strategy = "auto"
+    if strategy not in STRATEGIES:
+        raise InvalidParameterError(
+            f"unknown lattice strategy {strategy!r}; expected one of "
+            f"{', '.join(STRATEGIES)}"
+        )
+    if strategy != "auto":
+        return strategy
+    forced = os.environ.get(STRATEGY_ENV_VAR, "").strip().lower()
+    if forced and forced != "auto":
+        if forced not in STRATEGIES:
+            raise InvalidParameterError(
+                f"invalid {STRATEGY_ENV_VAR}={forced!r}; expected one of "
+                f"{', '.join(STRATEGIES)}"
+            )
+        return forced
+    return "dense" if n_nodes < DENSE_NODE_LIMIT else "packed"
+
 
 #: Upper bound (in bools) on the temporary blocks used by the chunked
 #: containment / reduction passes, so huge families do not allocate
-#: several full n x n intermediates at once.
-_BLOCK_CELLS = 1 << 24
+#: several full n x n intermediates at once.  Shared with the packed
+#: passes of :mod:`repro.core.bitmatrix` so both constructions honour
+#: one working-set budget.
+_BLOCK_CELLS = _PACKED_BLOCK_CELLS
 
 
 def pack_itemset_masks(
@@ -122,3 +196,214 @@ def containment_and_hasse(
     masks, _ = pack_itemset_masks(itemsets)
     proper = containment_matrix(masks)
     return proper, hasse_reduction(proper)
+
+
+class OrderCore:
+    """Strategy-agnostic order queries over an indexed family.
+
+    Every core answers the same questions about the strict containment
+    order of ``n`` family members (identified by their canonical index):
+    the Hasse edge arrays, immediate successors/predecessors, degree
+    vectors, full-order rows and single-pair ancestry tests.  The base
+    class serves everything derivable from the edge index arrays alone
+    (CSR-style adjacency, degrees); subclasses own the containment
+    representation and the construction pass.
+
+    Edge arrays are sorted row-major (by ``(smaller, larger)`` index) and
+    frozen, so every strategy hands out byte-identical edge arrays for
+    the same family.
+    """
+
+    #: Resolved strategy name, set by each subclass.
+    strategy: str
+
+    def __init__(self, hasse_rows: np.ndarray, hasse_cols: np.ndarray, n: int) -> None:
+        hasse_rows = np.asarray(hasse_rows, dtype=np.int64)
+        hasse_cols = np.asarray(hasse_cols, dtype=np.int64)
+        order = np.lexsort((hasse_cols, hasse_rows))
+        self._rows = hasse_rows[order]
+        self._cols = hasse_cols[order]
+        self._n = int(n)
+        for array in (self._rows, self._cols):
+            array.setflags(write=False)
+        self._col_sorted: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def n(self) -> int:
+        """Number of family members the order is over."""
+        return self._n
+
+    @property
+    def n_edges(self) -> int:
+        """Number of Hasse edges."""
+        return int(len(self._rows))
+
+    def hasse_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Hasse edges as ``(smaller, larger)`` index arrays, row-major."""
+        return self._rows, self._cols
+
+    def successors(self, index: int) -> np.ndarray:
+        """Immediate successors of member *index* (ascending indices)."""
+        start, stop = np.searchsorted(self._rows, [index, index + 1])
+        return self._cols[start:stop]
+
+    def _by_column(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._col_sorted is None:
+            order = np.lexsort((self._rows, self._cols))
+            self._col_sorted = (self._cols[order], self._rows[order])
+        return self._col_sorted
+
+    def predecessors(self, index: int) -> np.ndarray:
+        """Immediate predecessors of member *index* (ascending indices)."""
+        cols, rows = self._by_column()
+        start, stop = np.searchsorted(cols, [index, index + 1])
+        return rows[start:stop]
+
+    def in_degrees(self) -> np.ndarray:
+        """Immediate-predecessor count per member."""
+        return np.bincount(self._cols, minlength=self._n)
+
+    def out_degrees(self) -> np.ndarray:
+        """Immediate-successor count per member."""
+        return np.bincount(self._rows, minlength=self._n)
+
+    # -- containment queries, owned by each representation ---------------
+    def is_ancestor(self, smaller: int, larger: int) -> bool:
+        """``True`` iff member *smaller* is a proper subset of *larger*."""
+        raise NotImplementedError
+
+    def order_row(self, index: int) -> np.ndarray:
+        """Indices of every member strictly containing member *index*."""
+        raise NotImplementedError
+
+    def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        """Every comparable pair as ``(smaller, larger)`` index arrays."""
+        raise NotImplementedError
+
+
+class DenseOrderCore(OrderCore):
+    """Order core over one dense ``n x n`` bool containment matrix.
+
+    The fastest core through ~:data:`DENSE_NODE_LIMIT` nodes: bulk
+    AND/compare containment and a float32-BLAS transitive reduction.  The
+    Hasse matrix itself is dropped once the edge arrays are extracted, so
+    steady-state memory is one ``n**2`` bool matrix, not two.
+    """
+
+    strategy = "dense"
+
+    def __init__(self, masks: np.ndarray) -> None:
+        self._proper = containment_matrix(masks)
+        hasse = hasse_reduction(self._proper)
+        rows, cols = np.nonzero(hasse)
+        super().__init__(rows, cols, self._proper.shape[0])
+        self._proper.setflags(write=False)
+
+    def is_ancestor(self, smaller: int, larger: int) -> bool:
+        return bool(self._proper[smaller, larger])
+
+    def order_row(self, index: int) -> np.ndarray:
+        return np.nonzero(self._proper[index])[0]
+
+    def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.nonzero(self._proper)
+
+
+class PackedOrderCore(OrderCore):
+    """Order core over a bit-packed containment matrix.
+
+    Peak memory is two packed matrices of ``n**2 / 8`` bytes (containment
+    and, transiently, the reduction) plus bounded unpack/gather blocks —
+    a 16x reduction against the two dense matrices, which is what lets
+    50k+-node families load at all.  The packed Hasse matrix is dropped
+    after the edge arrays are extracted; containment queries pop words
+    out of the retained packed order.
+    """
+
+    strategy = "packed"
+
+    def __init__(self, masks: np.ndarray) -> None:
+        self._proper = packed_containment(masks)
+        hasse = packed_hasse_reduction(self._proper)
+        rows, cols = hasse.nonzero()
+        super().__init__(rows, cols, self._proper.n_rows)
+        self._proper.words.setflags(write=False)
+
+    def is_ancestor(self, smaller: int, larger: int) -> bool:
+        return self._proper.get(smaller, larger)
+
+    def order_row(self, index: int) -> np.ndarray:
+        return self._proper.row_indices(index)
+
+    def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._proper.nonzero()
+
+
+class ReferenceOrderCore(OrderCore):
+    """Order core around externally supplied (oracle) Hasse edges.
+
+    Stores only the packed item-masks (``O(n x words)`` — no pair matrix
+    of any kind), so containment queries re-probe the masks: a single
+    ancestry test is one masked compare over the word row, a full-order
+    row one vectorised pass over the family.  Used by the ``reference``
+    strategy, whose edges come from the per-pair
+    :func:`~repro.core.lattice.hasse_edges_reference` builder.
+    """
+
+    strategy = "reference"
+
+    def __init__(
+        self, masks: np.ndarray, hasse_rows: np.ndarray, hasse_cols: np.ndarray
+    ) -> None:
+        self._masks = np.ascontiguousarray(masks, dtype=np.uint64)
+        super().__init__(hasse_rows, hasse_cols, self._masks.shape[0])
+
+    def is_ancestor(self, smaller: int, larger: int) -> bool:
+        if smaller == larger:
+            return False
+        small = self._masks[smaller]
+        return bool(np.all((small & self._masks[larger]) == small))
+
+    def order_row(self, index: int) -> np.ndarray:
+        row = self._masks[index]
+        subset = np.all((row[None, :] & self._masks) == row[None, :], axis=1)
+        subset[index] = False
+        return np.nonzero(subset)[0]
+
+    def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
+        rows_parts: list[np.ndarray] = []
+        cols_parts: list[np.ndarray] = []
+        for index in range(self._n):
+            cols = self.order_row(index)
+            if cols.size:
+                rows_parts.append(np.full(cols.size, index, dtype=np.int64))
+                cols_parts.append(cols.astype(np.int64, copy=False))
+        if not rows_parts:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty.copy()
+        return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+
+def build_order_core(
+    masks: np.ndarray,
+    strategy: str,
+    reference_edges: tuple[np.ndarray, np.ndarray] | None = None,
+) -> OrderCore:
+    """Construct the order core for an already *resolved* strategy.
+
+    ``reference_edges`` supplies the oracle Hasse edge index arrays and is
+    required (and only meaningful) for the ``reference`` strategy.
+    """
+    if strategy == "dense":
+        return DenseOrderCore(masks)
+    if strategy == "packed":
+        return PackedOrderCore(masks)
+    if strategy == "reference":
+        if reference_edges is None:
+            raise InvalidParameterError(
+                "the reference strategy needs precomputed oracle edges"
+            )
+        return ReferenceOrderCore(masks, *reference_edges)
+    raise InvalidParameterError(
+        f"unresolved lattice strategy {strategy!r}; call resolve_strategy first"
+    )

@@ -32,7 +32,7 @@ import numpy as np
 from ..errors import InvalidParameterError
 from .context import TransactionDatabase
 
-__all__ = ["QuestGenerator", "make_quest_dataset"]
+__all__ = ["QuestGenerator", "make_quest_dataset", "make_star_closed_family"]
 
 
 class QuestGenerator:
@@ -203,3 +203,55 @@ def make_quest_dataset(
         seed=seed,
     )
     return generator.generate(n_transactions, name=name)
+
+
+def make_star_closed_family(
+    n_members: int = 50_002,
+    n_objects: int = 1_000,
+    mid_support: int = 5,
+    top_support: int = 1,
+) -> "ClosedItemsetFamily":
+    """A synthetic closed family whose lattice shape is known analytically.
+
+    The family is a three-level "star": one bottom closure ``{0}``
+    (present in every object), ``n_members - 2`` pairwise-incomparable
+    middle sets ``{0, a, b}`` (size-3 sets are never subsets of each
+    other), and one top set containing the whole universe.  Its Hasse
+    diagram is therefore exactly bottom → each middle → top, i.e.
+    ``2 * (n_members - 2)`` edges — which makes the generator the right
+    probe for the large-``n`` lattice order cores: arbitrarily many
+    closed itemsets with a structure a test can assert edge-for-edge,
+    without mining a context of that size first.
+
+    Used by the packed-strategy acceptance test (50k+ nodes must load
+    without a dense ``n x n`` matrix) and by the
+    ``test_engine_lattice_packed_large`` microbenchmark.
+    """
+    from ..core.families import ClosedItemsetFamily
+    from ..core.itemset import Itemset
+
+    if n_members < 3:
+        raise InvalidParameterError(
+            f"a star family needs at least 3 members, got {n_members}"
+        )
+    n_mids = n_members - 2
+    # Smallest universe 1..m with enough unordered pairs for the middles;
+    # at least 3 so the top set {0..m} is a strict superset of every
+    # middle (m = 2 would make the only middle {0, 1, 2} collide with it).
+    m = 3
+    while m * (m - 1) // 2 < n_mids:
+        m += 1
+    supports: dict["Itemset", int] = {Itemset((0,)): n_objects}
+    count = 0
+    for first in range(1, m + 1):
+        for second in range(first + 1, m + 1):
+            supports[Itemset((0, first, second))] = mid_support
+            count += 1
+            if count == n_mids:
+                break
+        if count == n_mids:
+            break
+    supports[Itemset(range(m + 1))] = top_support
+    return ClosedItemsetFamily(
+        supports, n_objects=n_objects, minsup_count=top_support
+    )

@@ -22,6 +22,7 @@ from collections.abc import Sequence
 
 from ..algorithms.close import Close
 from ..bases import DEFAULT_BASES, available_bases, get_basis, resolve_basis_names
+from ..core.order import STRATEGIES
 from ..data.io import load_basket_file
 from ..engine import ENGINES
 from . import tables
@@ -98,6 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated registered bases to build "
         f"(default: {','.join(DEFAULT_BASES)}; see `list-bases`)",
     )
+    bases.add_argument(
+        "--lattice-strategy",
+        choices=list(STRATEGIES),
+        default="auto",
+        help="iceberg-lattice order core: auto picks dense below "
+        "~10k closed itemsets and bit-packed above; reference is the "
+        "per-pair oracle builder (default: auto)",
+    )
 
     subparsers.add_parser(
         "list-bases", help="list the registered rule bases and their descriptions"
@@ -141,7 +150,12 @@ def _command_bases(args: argparse.Namespace) -> int:
     database = load_basket_file(args.dataset)
     mining = mine_itemsets(database, args.minsup, engine=args.engine)
     selection = resolve_basis_names(args.bases)
-    artifacts = build_rule_artifacts(mining, minconf=args.minconf, bases=selection)
+    artifacts = build_rule_artifacts(
+        mining,
+        minconf=args.minconf,
+        bases=selection,
+        lattice_strategy=args.lattice_strategy,
+    )
 
     print(f"Dataset {database.name}: minsup={args.minsup}, minconf={args.minconf}")
     print(

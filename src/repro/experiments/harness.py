@@ -79,17 +79,23 @@ class ItemsetMiningResult:
         """The minimal generators as a validated :class:`GeneratorFamily`."""
         return GeneratorFamily(self.closed, self.generators_by_closure)
 
-    def basis_context(self, minconf: float) -> BasisContext:
+    def basis_context(
+        self, minconf: float, lattice_strategy: str = "auto"
+    ) -> BasisContext:
         """A :class:`BasisContext` over the mined families.
 
         The generator family is attached lazily so selections without a
         generator-backed basis never build or validate it.
+        ``lattice_strategy`` forces the order core of the shared iceberg
+        lattice (``auto`` picks dense below ~10k closed itemsets, packed
+        above).
         """
         return BasisContext(
             closed=self.closed,
             minconf=minconf,
             frequent=self.frequent,
             generators_factory=lambda: self.generator_family,
+            lattice_strategy=lattice_strategy,
         )
 
 
@@ -212,15 +218,19 @@ def build_rule_artifacts(
     mining: ItemsetMiningResult,
     minconf: float,
     bases: str | tuple[str, ...] | list[str] | None = None,
+    lattice_strategy: str = "auto",
 ) -> RuleArtifacts:
     """Build a selection of rule bases for one (dataset, minsup, minconf) cell.
 
     ``bases`` names the registered bases to build (a comma-separated
     string or a sequence; ``None`` selects the paper's four classic
     artefacts).  All selected bases share one :class:`BasisContext`, and
-    therefore one vectorised iceberg-lattice construction.
+    therefore one vectorised iceberg-lattice construction;
+    ``lattice_strategy`` forces its order core (``dense``, ``packed`` or
+    ``reference`` — ``auto`` switches dense → packed at ~10k closed
+    itemsets).
     """
-    context = mining.basis_context(minconf)
+    context = mining.basis_context(minconf, lattice_strategy=lattice_strategy)
     return RuleArtifacts(
         database_name=mining.database.name,
         minsup=mining.minsup,

@@ -1,0 +1,220 @@
+"""The lattice strategy seam: dense == packed == reference, and large n.
+
+Three groups of guarantees:
+
+* every order-core strategy produces identical Hasse edges, containment
+  pairs, neighbourhoods and basis output on toy and random contexts;
+* the automatic selector picks dense below the size threshold, packed
+  above it, and honours the ``REPRO_LATTICE_STRATEGY`` override;
+* the packed strategy loads a 50k-node synthetic family — beyond the
+  dense memory wall — without ever building a dense ``n x n`` matrix,
+  with the analytically known star structure coming out exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Close
+from repro.bases import BasisContext, build_bases
+from repro.core import order as order_module
+from repro.core.itemset import Itemset
+from repro.core.lattice import IcebergLattice
+from repro.core.order import (
+    DENSE_NODE_LIMIT,
+    STRATEGY_ENV_VAR,
+    resolve_strategy,
+)
+from repro.data.synthetic import make_star_closed_family
+from repro.errors import InvalidParameterError
+
+STRATEGIES = ("dense", "packed", "reference")
+
+
+@pytest.fixture()
+def mined_random(random_db):
+    return Close(minsup=0.2).mine(random_db)
+
+
+class TestStrategyEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_toy_edges_identical(self, toy_closed, strategy):
+        lattice = IcebergLattice(toy_closed, strategy=strategy)
+        baseline = IcebergLattice(toy_closed, strategy="dense")
+        assert lattice.strategy == strategy
+        assert lattice.hasse_edges() == baseline.hasse_edges()
+        rows, cols = lattice.hasse_edge_indices()
+        base_rows, base_cols = baseline.hasse_edge_indices()
+        assert np.array_equal(rows, base_rows)
+        assert np.array_equal(cols, base_cols)
+
+    @pytest.mark.parametrize("strategy", ("packed", "reference"))
+    def test_random_context_edges_identical(self, mined_random, strategy):
+        baseline = IcebergLattice(mined_random, strategy="dense")
+        lattice = IcebergLattice(mined_random, strategy=strategy)
+        assert lattice.hasse_edges() == baseline.hasse_edges()
+        assert sorted(lattice.comparable_pairs()) == sorted(
+            baseline.comparable_pairs()
+        )
+        assert np.array_equal(
+            lattice.edge_confidences(), baseline.edge_confidences()
+        )
+        assert np.array_equal(
+            lattice.edge_confidences(full=True),
+            baseline.edge_confidences(full=True),
+        )
+        assert lattice.is_transitive_reduction()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_neighbourhood_accessors_identical(self, mined_random, strategy):
+        baseline = IcebergLattice(mined_random, strategy="dense")
+        lattice = IcebergLattice(mined_random, strategy=strategy)
+        for member in lattice.members:
+            assert lattice.children_of(member) == baseline.children_of(member)
+            assert lattice.parents_of(member) == baseline.parents_of(member)
+            assert lattice.proper_supersets(member) == baseline.proper_supersets(
+                member
+            )
+        assert lattice.minimal_elements() == baseline.minimal_elements()
+        assert lattice.maximal_elements() == baseline.maximal_elements()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_ancestry_and_paths_identical(self, toy_closed, strategy):
+        lattice = IcebergLattice(toy_closed, strategy=strategy)
+        assert lattice.is_ancestor(Itemset("c"), Itemset("abce"))
+        assert not lattice.is_ancestor(Itemset("ac"), Itemset("be"))
+        assert not lattice.is_ancestor(Itemset("c"), Itemset("c"))
+        assert lattice.confidence_between(Itemset("c"), Itemset("ac")) == 0.75
+        assert lattice.confidence_between(Itemset("ac"), Itemset("be")) is None
+        path = lattice.path_between(Itemset("c"), Itemset("abce"))
+        assert path is not None
+        assert path[0] == Itemset("c") and path[-1] == Itemset("abce")
+        for lower, upper in zip(path, path[1:]):
+            assert (lower, upper) in lattice.hasse_edges()
+
+    @pytest.mark.parametrize("strategy", ("packed", "reference"))
+    def test_basis_output_identical(self, toy_db, toy_closed, strategy):
+        from repro import Apriori, GeneratorFamily
+
+        close = Close(minsup=0.4)
+        closed = close.mine(toy_db)
+        frequent = Apriori(minsup=0.4).mine(toy_db)
+        selection = (
+            "dg",
+            "luxenburger",
+            "luxenburger-reduced",
+            "informative",
+            "informative-reduced",
+        )
+
+        def build_with(lattice_strategy: str):
+            context = BasisContext(
+                closed=closed,
+                minconf=0.5,
+                frequent=frequent,
+                generators=GeneratorFamily(closed, close.generators_by_closure),
+                lattice_strategy=lattice_strategy,
+            )
+            return build_bases(context, selection)
+
+        baseline = build_with("dense")
+        candidate = build_with(strategy)
+        for name in selection:
+            assert set(candidate[name].rules) == set(baseline[name].rules), name
+
+    @pytest.mark.parametrize("strategy", ("packed", "reference"))
+    def test_basis_output_identical_random(self, mined_random, strategy):
+        from repro.core.luxenburger import LuxenburgerBasis
+
+        for reduced in (True, False):
+            baseline = LuxenburgerBasis(
+                mined_random,
+                minconf=0.3,
+                transitive_reduction=reduced,
+                lattice_strategy="dense",
+            )
+            candidate = LuxenburgerBasis(
+                mined_random,
+                minconf=0.3,
+                transitive_reduction=reduced,
+                lattice_strategy=strategy,
+            )
+            assert set(candidate.rules) == set(baseline.rules)
+
+
+class TestStrategySelection:
+    def test_auto_picks_dense_below_threshold(self):
+        assert resolve_strategy(0) == "dense"
+        assert resolve_strategy(DENSE_NODE_LIMIT - 1) == "dense"
+
+    def test_auto_picks_packed_at_threshold(self):
+        assert resolve_strategy(DENSE_NODE_LIMIT) == "packed"
+        assert resolve_strategy(10 * DENSE_NODE_LIMIT) == "packed"
+
+    def test_explicit_strategy_passes_through(self):
+        assert resolve_strategy(5, "packed") == "packed"
+        assert resolve_strategy(10**6, "dense") == "dense"
+        assert resolve_strategy(5, "reference") == "reference"
+        assert resolve_strategy(5, None) == "dense"
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_strategy(5, "sparse")
+
+    def test_env_var_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "packed")
+        assert resolve_strategy(5, "auto") == "packed"
+        # Explicit strategies win over the environment.
+        assert resolve_strategy(5, "dense") == "dense"
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "bogus")
+        with pytest.raises(InvalidParameterError):
+            resolve_strategy(5, "auto")
+
+    def test_lattice_reports_resolved_strategy(self, toy_closed):
+        assert IcebergLattice(toy_closed).strategy == "dense"
+        assert IcebergLattice(toy_closed, strategy="packed").strategy == "packed"
+
+
+class TestLargeFamilyPacked:
+    """The acceptance criterion: 50k+ nodes, no dense n x n matrix."""
+
+    N_MIDDLE = 50_000
+
+    @pytest.fixture(scope="class")
+    def star_family(self):
+        return make_star_closed_family(self.N_MIDDLE + 2)
+
+    def test_star_family_shape(self, star_family):
+        assert len(star_family) == self.N_MIDDLE + 2
+
+    def test_packed_builds_50k_lattice_without_dense_matrix(
+        self, star_family, monkeypatch
+    ):
+        def forbid_dense(*args, **kwargs):  # pragma: no cover - defensive
+            raise AssertionError(
+                "packed strategy must not build a dense containment matrix"
+            )
+
+        monkeypatch.setattr(order_module, "containment_matrix", forbid_dense)
+        monkeypatch.setattr(order_module, "hasse_reduction", forbid_dense)
+        lattice = IcebergLattice(star_family, strategy="auto")
+        assert lattice.strategy == "packed"
+        assert len(lattice) == self.N_MIDDLE + 2
+
+        # The star structure is known analytically: bottom -> each middle
+        # -> top, nothing else.
+        assert lattice.edge_count() == 2 * self.N_MIDDLE
+        bottom = Itemset((0,))
+        assert lattice.minimal_elements() == [bottom]
+        (top,) = lattice.maximal_elements()
+        assert len(lattice.children_of(bottom)) == self.N_MIDDLE
+        assert len(lattice.parents_of(top)) == self.N_MIDDLE
+
+        middle = lattice.children_of(bottom)[0]
+        assert lattice.parents_of(middle) == [bottom]
+        assert lattice.children_of(middle) == [top]
+        assert lattice.is_ancestor(bottom, top)
+        assert not lattice.is_ancestor(top, bottom)
+        assert lattice.path_between(bottom, top) is not None
+        assert lattice.confidence_between(middle, top) == pytest.approx(1 / 5)
