@@ -20,11 +20,17 @@ import random
 import pytest
 
 from repro import AClose, Apriori, Charm, Close
+from repro.core.informative import InformativeBasis
 from repro.core.itemset import Itemset
 from repro.core.lattice import IcebergLattice, hasse_edges_reference
 from repro.core.luxenburger import LuxenburgerBasis
+from repro.core.rules import RuleSet
 from repro.data.benchmarks_data import make_mushroom
-from repro.data.synthetic import make_star_closed_family
+from repro.data.synthetic import (
+    make_rule_dense_family,
+    make_star_closed_family,
+    rule_dense_expected_counts,
+)
 from repro.engine import make_engine
 from repro.experiments.harness import mine_itemsets
 
@@ -96,6 +102,75 @@ def test_engine_lattice_packed_large(benchmark):
     lattice = benchmark(lambda: IcebergLattice(family, strategy="packed"))
     assert lattice.strategy == "packed"
     assert lattice.edge_count() == 2 * 16_384
+
+
+RULE_DENSE_CHAIN = 250
+RULE_DENSE_MULTIPLICITY = 2
+
+
+@pytest.fixture(scope="module")
+def rule_dense():
+    """The clone-chain rule-dense workload (~93k informative+Luxenburger rules).
+
+    Families are built analytically (``make_rule_dense_family`` equals the
+    mined output, asserted in the data-generator tests) and the lattice is
+    prebuilt, so both rule benchmarks time exactly the rule layer.
+    """
+    closed, generators = make_rule_dense_family(
+        RULE_DENSE_CHAIN, RULE_DENSE_MULTIPLICITY
+    )
+    return closed, generators, IcebergLattice(closed)
+
+
+def test_engine_rule_materialization(benchmark, rule_dense):
+    """Array-native basis build on the rule-dense workload (gated).
+
+    Full informative + full Luxenburger at ``minconf = 0``: the rules are
+    assembled as columnar ``RuleArrays`` gathers from the lattice masks
+    and counted without materialising one rule object.  The regression
+    gate watches this (the name matches the ``engine`` filter); the
+    ratio against ``test_rule_materialization_object_baseline`` is the
+    columnar speedup (>= 10x required, ~100x typical).
+    """
+    closed, generators, lattice = rule_dense
+    expected = rule_dense_expected_counts(RULE_DENSE_CHAIN, RULE_DENSE_MULTIPLICITY)
+
+    def build() -> int:
+        luxenburger = LuxenburgerBasis(
+            closed, minconf=0.0, transitive_reduction=False, lattice=lattice
+        )
+        informative = InformativeBasis(
+            generators, minconf=0.0, reduced=False, lattice=lattice
+        )
+        return len(luxenburger.rules) + len(informative.rules)
+
+    total = benchmark(build)
+    assert total == expected["luxenburger_full"] + expected["informative_full"]
+
+
+def test_rule_materialization_object_baseline(benchmark, rule_dense):
+    """The pre-columnar object pipeline on the same workload (baseline).
+
+    Materialises every rule through the kept ``iter_rules_reference``
+    oracles into a plain ``RuleSet`` — one ``AssociationRule`` plus two
+    Itemset set operations per rule.  Single round (it is two orders of
+    magnitude slower than the columnar path); not gated.
+    """
+    closed, generators, lattice = rule_dense
+    luxenburger = LuxenburgerBasis(
+        closed, minconf=0.0, transitive_reduction=False, lattice=lattice
+    )
+    informative = InformativeBasis(
+        generators, minconf=0.0, reduced=False, lattice=lattice
+    )
+
+    def build() -> int:
+        return len(RuleSet(luxenburger.iter_rules_reference())) + len(
+            RuleSet(informative.iter_rules_reference())
+        )
+
+    total = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert total == len(luxenburger.rules) + len(informative.rules)
 
 
 def test_closure_computation(benchmark, mushroom):

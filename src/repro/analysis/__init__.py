@@ -9,6 +9,7 @@ from .metrics import (
     leverage,
     lift,
     rule_metrics,
+    summarize_rules,
 )
 from .statistics import DatasetStatistics, dataset_statistics, itemset_count_profile
 
@@ -21,6 +22,7 @@ __all__ = [
     "cosine",
     "RuleMetrics",
     "rule_metrics",
+    "summarize_rules",
     "DatasetStatistics",
     "dataset_statistics",
     "itemset_count_profile",

@@ -15,7 +15,8 @@ import math
 from collections.abc import Callable, Iterable
 
 from ..core.itemset import Itemset
-from ..core.rules import AssociationRule
+from ..core.rulearrays import RuleArrays
+from ..core.rules import AssociationRule, RuleSet
 from ..errors import InvalidParameterError
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "cosine",
     "rule_metrics",
     "RuleMetrics",
+    "summarize_rules",
 ]
 
 SupportOracle = Callable[[Itemset], float]
@@ -140,3 +142,24 @@ def rule_metrics(
 ) -> list[RuleMetrics]:
     """Compute :class:`RuleMetrics` for every rule of an iterable."""
     return [RuleMetrics(rule, support_oracle) for rule in rules]
+
+
+def summarize_rules(rules: RuleSet | RuleArrays) -> dict[str, float | int]:
+    """Summary statistics of a rule collection, as numpy column reductions.
+
+    Works directly on a columnar :class:`~repro.core.rulearrays.RuleArrays`
+    or on a :class:`~repro.core.rules.RuleSet` (whose columnar form is
+    obtained — and cached — through ``RuleSet.to_arrays``, a zero-copy
+    accessor for the array-native bases).  No per-rule Python object is
+    touched, so summarising a million-rule basis costs a few vector
+    passes.
+    """
+    arrays = rules if isinstance(rules, RuleArrays) else rules.to_arrays()
+    exact = arrays.count_exact()
+    return {
+        "rules": len(arrays),
+        "exact_rules": exact,
+        "approximate_rules": len(arrays) - exact,
+        "average_support": arrays.average_support(),
+        "average_confidence": arrays.average_confidence(),
+    }

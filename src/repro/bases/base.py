@@ -151,6 +151,17 @@ class BuiltBasis:
         """Number of rules in the basis."""
         return len(self.rules)
 
+    @property
+    def rule_arrays(self):
+        """The basis in columnar form (:class:`~repro.core.rulearrays.RuleArrays`).
+
+        The array-native constructions build their rules as columns in
+        the first place, so for those this is a zero-copy accessor; for
+        object-built rule sets the columns are packed (and cached) on
+        first use.
+        """
+        return self.rules.to_arrays()
+
     def __len__(self) -> int:
         return len(self.rules)
 

@@ -12,6 +12,7 @@ from .lattice import IcebergLattice
 from .luxenburger import LuxenburgerBasis, build_luxenburger_basis
 from .pseudo_closed import PseudoClosedItemset, frequent_pseudo_closed_itemsets
 from .redundancy import ReductionReport, implication_closure, reduction_report
+from .rulearrays import RuleArrays
 from .rules import AssociationRule, RuleSet
 
 __all__ = [
@@ -38,6 +39,7 @@ __all__ = [
     "IcebergLattice",
     "AssociationRule",
     "RuleSet",
+    "RuleArrays",
     "ReductionReport",
     "reduction_report",
     "implication_closure",

@@ -20,9 +20,18 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
+from .bitmatrix import BitMatrix
 from .families import ClosedItemsetFamily, ItemsetFamily
 from .itemset import Itemset
 from .pseudo_closed import PseudoClosedItemset, frequent_pseudo_closed_itemsets
+from .rulearrays import (
+    RuleArrays,
+    pack_itemsets_into,
+    relative_supports,
+    sorted_universe,
+)
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["DuquenneGuiguesBasis", "build_duquenne_guigues_basis"]
@@ -48,9 +57,33 @@ class DuquenneGuiguesBasis:
     ) -> None:
         self._pseudo_closed = sorted(pseudo_closed, key=lambda p: p.itemset)
         self._n_objects = n_objects
-        self._rules = RuleSet(self._build_rules())
+        self._rules = RuleSet.from_arrays(self._build_arrays())
 
-    def _build_rules(self) -> Iterator[AssociationRule]:
+    def _build_arrays(self) -> RuleArrays:
+        """One rule column per pseudo-closed record, packed in one pass.
+
+        The antecedents are the pseudo-closed itemsets themselves and the
+        consequents ``h(P) \\ P`` — a single AND-NOT over the two packed
+        mask blocks; no per-rule Python object is built.
+        """
+        entries = self._pseudo_closed
+        universe = sorted_universe(
+            item for entry in entries for item in entry.closure
+        )
+        antecedents = pack_itemsets_into([entry.itemset for entry in entries], universe)
+        closures = pack_itemsets_into([entry.closure for entry in entries], universe)
+        counts = np.array([entry.support_count for entry in entries], dtype=np.int64)
+        return RuleArrays(
+            antecedents,
+            BitMatrix(closures.words & ~antecedents.words, len(universe)),
+            universe,
+            relative_supports(counts, self._n_objects),
+            np.ones(len(entries), dtype=np.float64),
+            counts,
+        )
+
+    def iter_rules_reference(self) -> Iterator[AssociationRule]:
+        """The pre-columnar object pipeline (oracle for tests/benchmarks)."""
         for entry in self._pseudo_closed:
             consequent = entry.closure.difference(entry.itemset)
             support = (

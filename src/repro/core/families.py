@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from .itemset import Item, Itemset
 
@@ -181,6 +183,33 @@ class ClosedItemsetFamily(ItemsetFamily):
     member.
     """
 
+    #: Lazily built packed-containment index (see :meth:`_closure_lookup`).
+    _closure_index: tuple | None = None
+
+    def _closure_lookup(self) -> tuple:
+        """Size-bucketed packed-containment index over the members.
+
+        Built once on first use (families are immutable after
+        construction): the members stable-sorted by cardinality, their
+        packed item-mask rows, and the aligned size / support columns.
+        A :meth:`closure_of` query then tests one size bucket at a time
+        with a vectorised masked compare instead of scanning the whole
+        family per lookup.
+        """
+        if self._closure_index is None:
+            from .rulearrays import pack_itemsets_into, sorted_universe
+
+            members = sorted(self._supports, key=len)  # stable: insertion order kept
+            universe = sorted_universe(item for member in members for item in member)
+            item_position = {item: pos for pos, item in enumerate(universe)}
+            matrix = pack_itemsets_into(members, universe)
+            sizes = np.array([len(member) for member in members], dtype=np.int64)
+            counts = np.array(
+                [self._supports[member] for member in members], dtype=np.int64
+            )
+            self._closure_index = (members, matrix, sizes, counts, item_position)
+        return self._closure_index
+
     def closure_of(self, itemset: Itemset | Iterable[Item]) -> Itemset | None:
         """Return the smallest closed itemset of the family containing *itemset*.
 
@@ -190,18 +219,34 @@ class ClosedItemsetFamily(ItemsetFamily):
         are stable under intersection; we nevertheless resolve ties by
         minimal support to stay robust if the family was built with a
         non-closed member injected by hand.
+
+        Lookups go through the size-bucketed packed index: buckets of
+        cardinality below the target are never touched, and the first
+        bucket with a containing member answers (minimal support wins
+        inside the bucket, earliest-inserted member on support ties —
+        exactly the strictly-better-replaces semantics of the original
+        linear scan).
         """
         target = Itemset.coerce(itemset)
-        best: Itemset | None = None
-        best_count = -1
-        for member, count in self._supports.items():
-            if target.issubset(member):
-                if best is None or len(member) < len(best) or (
-                    len(member) == len(best) and count < best_count
-                ):
-                    best = member
-                    best_count = count
-        return best
+        if not self._supports:
+            return None
+        members, matrix, sizes, counts, item_position = self._closure_lookup()
+        if any(item not in item_position for item in target):
+            return None  # some item appears in no member at all
+        from .rulearrays import pack_itemset_words
+
+        words = pack_itemset_words(target, item_position, matrix.n_words)
+        start = int(np.searchsorted(sizes, len(target), side="left"))
+        n = len(members)
+        while start < n:
+            stop = int(np.searchsorted(sizes, sizes[start], side="right"))
+            block = matrix.words[start:stop]
+            hits = np.nonzero(np.all((block & words) == words, axis=1))[0]
+            if hits.size:
+                best = hits[np.argmin(counts[start:stop][hits])]
+                return members[start + int(best)]
+            start = stop
+        return None
 
     def bottom_closure(self) -> Itemset:
         """Return ``h(∅)``, the unique minimal closed itemset of the context.

@@ -23,12 +23,16 @@ helpers used in tests.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from ..data.context import TransactionDatabase
 from ..errors import InvalidParameterError
 from .families import ClosedItemsetFamily
-from .itemset import Itemset
+from .itemset import Item, Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .bitmatrix import BitMatrix
 
 __all__ = ["GeneratorFamily", "is_minimal_generator", "minimal_generators_brute_force"]
 
@@ -138,6 +142,40 @@ class GeneratorFamily:
         for group in self._mapping.values():
             generators.update(group)
         return sorted(generators)
+
+    def packed_masks(
+        self, universe: Sequence[Item] | None = None
+    ) -> tuple["BitMatrix", list[Itemset], tuple[Item, ...]]:
+        """Pack every recorded ``(closure, generator)`` pair into mask rows.
+
+        Returns ``(generator_matrix, closures, universe)``: row ``i`` of
+        the :class:`~repro.core.bitmatrix.BitMatrix` is the packed item
+        mask of the ``i``-th generator in the canonical enumeration order
+        (closures sorted canonically, each closure's generators in their
+        stored sorted order), and ``closures[i]`` is the closure that
+        generator belongs to.  Bit ``j`` of a row refers to
+        ``universe[j]``; when *universe* is omitted it is derived from
+        the closures (every generator is a subset of its closure, so the
+        closure items always suffice).  Passing the iceberg lattice's
+        :attr:`~repro.core.lattice.IcebergLattice.item_universe` makes
+        the rows directly composable with the lattice's member masks —
+        that is how the array-native informative/generic bases assemble
+        their antecedent columns in one gather.
+        """
+        from .rulearrays import pack_itemsets_into, sorted_universe
+
+        pairs: list[tuple[Itemset, Itemset]] = [
+            (closed, generator)
+            for closed in self.closed_itemsets()
+            for generator in self.generators_of(closed)
+        ]
+        if universe is None:
+            universe = sorted_universe(
+                item for closed, _ in pairs for item in closed
+            )
+        universe = tuple(universe)
+        matrix = pack_itemsets_into([generator for _, generator in pairs], universe)
+        return matrix, [closed for closed, _ in pairs], universe
 
     def proper_generators_of(self, closed: Itemset | Iterable) -> tuple[Itemset, ...]:
         """Return the generators of *closed* that differ from *closed* itself.

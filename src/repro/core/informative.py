@@ -26,24 +26,64 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from ..errors import InvalidParameterError
+from .bitmatrix import BitMatrix
 from .constants import EPSILON
 from .generators import GeneratorFamily
 from .lattice import IcebergLattice
+from .rulearrays import RuleArrays, pack_itemsets_into, relative_supports
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["GenericBasis", "InformativeBasis"]
 
 
 class GenericBasis:
-    """The generic basis for exact rules, built from minimal generators."""
+    """The generic basis for exact rules, built from minimal generators.
+
+    The rules are assembled as a columnar
+    :class:`~repro.core.rulearrays.RuleArrays`: one packed-mask gather
+    per column instead of one Python object per rule.  The pre-columnar
+    loop survives as :meth:`iter_rules_reference` (the test oracle).
+    """
 
     def __init__(self, generators: GeneratorFamily) -> None:
         self._generators = generators
         self._closed = generators.closed_family
-        self._rules = RuleSet(self._build_rules())
+        self._rules = RuleSet.from_arrays(self._build_arrays())
 
-    def _build_rules(self) -> Iterator[AssociationRule]:
+    def _build_arrays(self) -> RuleArrays:
+        gen_matrix, closures, universe = self._generators.packed_masks()
+        unique_closures = self._generators.closed_itemsets()
+        position = {closed: index for index, closed in enumerate(unique_closures)}
+        closure_matrix = pack_itemsets_into(unique_closures, universe)
+        counts = np.array(
+            [self._closed.support_count(closed) for closed in unique_closures],
+            dtype=np.int64,
+        )
+        closure_index = np.array(
+            [position[closed] for closed in closures], dtype=np.int64
+        )
+        antecedents = gen_matrix.words
+        consequents = closure_matrix.words[closure_index] & ~antecedents
+        # A generator equal to its closure packs to an empty consequent —
+        # those pairs produce no exact rule (the proper_generators_of
+        # condition of the object pipeline).
+        keep = np.any(consequents != 0, axis=1)
+        support_counts = counts[closure_index]
+        arrays = RuleArrays(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            relative_supports(support_counts, self._closed.n_objects),
+            np.ones(len(closures), dtype=np.float64),
+            support_counts,
+        )
+        return arrays.select(keep)
+
+    def iter_rules_reference(self) -> Iterator[AssociationRule]:
+        """The pre-columnar object pipeline (oracle for tests/benchmarks)."""
         n_objects = self._closed.n_objects
         for closed in self._generators.closed_itemsets():
             count = self._closed.support_count(closed)
@@ -127,9 +167,61 @@ class InformativeBasis:
             if lattice is not None
             else IcebergLattice(self._closed, strategy=lattice_strategy)
         )
-        self._rules = RuleSet(self._build_rules())
+        self._rules = RuleSet.from_arrays(self._build_arrays())
 
-    def _build_rules(self) -> Iterator[AssociationRule]:
+    def _build_arrays(self) -> RuleArrays:
+        """Expand (generator, closed-pair) combinations as column gathers.
+
+        The surviving pairs are grouped by their smaller member (CSR
+        offsets over the row-major pair arrays); each generator row is
+        then repeated once per pair of its closure and the target masks
+        gathered in one shot — the full basis costs a handful of numpy
+        passes however many rules it holds.
+        """
+        lattice = self._lattice
+        universe = lattice.item_universe
+        rows, cols, confidences = lattice.confidence_window_pairs(
+            self._minconf, reduced=self._reduced
+        )
+        n_members = len(lattice.members)
+        row_counts = np.bincount(rows, minlength=n_members)
+        offsets = np.concatenate(([0], np.cumsum(row_counts)))
+
+        gen_matrix, closures, _ = self._generators.packed_masks(universe)
+        closure_index = np.array(
+            [lattice.member_index(closed) for closed in closures], dtype=np.int64
+        )
+        if len(closures):
+            repeats = row_counts[closure_index]
+        else:
+            repeats = np.zeros(0, dtype=np.int64)
+        total = int(repeats.sum())
+        generator_rows = np.repeat(np.arange(len(closures)), repeats)
+        # Per-expanded-row position into the pair arrays: each generator
+        # walks its closure's contiguous pair slice from the start.
+        within = np.arange(total) - np.repeat(np.cumsum(repeats) - repeats, repeats)
+        pair_positions = np.repeat(offsets[closure_index], repeats) + within
+        targets = cols[pair_positions]
+
+        masks = lattice.member_masks()
+        antecedents = gen_matrix.words[generator_rows]
+        consequents = masks[targets] & ~antecedents
+        support_counts = lattice.support_counts()[targets]
+        arrays = RuleArrays(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            relative_supports(support_counts, self._closed.n_objects),
+            confidences[pair_positions],
+            support_counts,
+        )
+        # target ⊃ closure ⊇ generator makes an empty consequent
+        # impossible for well-formed input; the guard mirrors the object
+        # pipeline's defence against malformed generator families.
+        return arrays.select(np.any(consequents != 0, axis=1))
+
+    def iter_rules_reference(self) -> Iterator[AssociationRule]:
+        """The pre-columnar object pipeline (oracle for tests/benchmarks)."""
         n_objects = self._closed.n_objects
         lattice = self._lattice
         for closed in self._generators.closed_itemsets():

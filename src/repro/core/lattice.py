@@ -44,6 +44,7 @@ from collections.abc import Iterator
 import networkx as nx
 import numpy as np
 
+from .constants import EPSILON
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
 from .order import build_order_core, pack_itemset_masks, resolve_strategy
@@ -127,7 +128,13 @@ class IcebergLattice:
         self._supports = np.array(
             [closed.support_count(member) for member in members], dtype=np.int64
         )
-        masks, _ = pack_itemset_masks(members)
+        masks, universe = pack_itemset_masks(members)
+        # The packed member masks are retained (O(n x words) — negligible
+        # next to the order core) because the array-native rule builders
+        # assemble antecedent/consequent mask rows straight from them.
+        self._masks = masks
+        self._masks.setflags(write=False)
+        self._universe: tuple = tuple(universe)
         self._strategy = resolve_strategy(len(members), strategy)
         reference_edges = None
         if self._strategy == "reference":
@@ -205,6 +212,22 @@ class IcebergLattice:
         """Support counts aligned with :attr:`members` (read-only view)."""
         return self._supports
 
+    @property
+    def item_universe(self) -> tuple:
+        """The item universe of the member masks, in canonical bit order."""
+        return self._universe
+
+    def member_masks(self) -> np.ndarray:
+        """Packed uint64 item-mask rows aligned with :attr:`members`.
+
+        Bit ``i`` (little-endian across the words) of row ``r`` is set iff
+        ``members[r]`` contains ``item_universe[i]`` — the layout shared
+        with :class:`~repro.core.bitmatrix.BitMatrix` and the engine
+        bitsets.  Read-only view; the array-native basis constructions
+        gather their rule masks from it.
+        """
+        return self._masks
+
     def hasse_edge_indices(self) -> tuple[np.ndarray, np.ndarray]:
         """Hasse edges as ``(smaller, larger)`` index arrays into members."""
         return self._hasse_rows, self._hasse_cols
@@ -227,6 +250,37 @@ class IcebergLattice:
         return np.divide(
             larger, smaller, out=np.zeros_like(larger), where=smaller != 0
         )
+
+    def confidence_window_pairs(
+        self, minconf: float, reduced: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Closed-set pairs whose confidence lies in ``[minconf, 1)``.
+
+        The pair selection shared by the approximate-rule bases
+        (Luxenburger and informative): Hasse edges when *reduced*, every
+        comparable pair otherwise, with ``supp(larger)/supp(smaller)``
+        computed in one safe vectorised divide and thresholded with the
+        library-wide :data:`~repro.core.constants.EPSILON` semantics
+        (confidence 1 between distinct closed sets would mean the
+        smaller one is not closed; guarded for malformed input).
+
+        Returns ``(rows, cols, confidences)`` index arrays into
+        :attr:`members`, row-major (``rows`` non-decreasing) — the order
+        the CSR expansion of the informative basis relies on.
+        """
+        if reduced:
+            rows, cols = self.hasse_edge_indices()
+        else:
+            rows, cols = self.containment_indices()
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        smaller = self._supports[rows].astype(np.float64)
+        larger = self._supports[cols].astype(np.float64)
+        confidences = np.divide(
+            larger, smaller, out=np.zeros_like(larger), where=smaller != 0
+        )
+        keep = (confidences >= minconf - EPSILON) & (confidences < 1.0 - EPSILON)
+        return rows[keep], cols[keep], confidences[keep]
 
     def confidence_between(self, smaller: Itemset, larger: Itemset) -> float | None:
         """Confidence ``supp(larger)/supp(smaller)`` for comparable nodes.

@@ -14,22 +14,27 @@ iceberg lattice — is still a basis, because the confidence of any
 closed-set pair is the product of the edge confidences along a path.
 
 This module builds both variants directly from the lattice's precomputed
-edge and confidence arrays (one vectorised threshold pass selects the
-surviving pairs) and exposes the structure needed by the derivation
-engine and by the experiments.
+edge and confidence arrays: one vectorised threshold pass selects the
+surviving pairs, and the rules themselves are assembled as a columnar
+:class:`~repro.core.rulearrays.RuleArrays` by gathering antecedent /
+consequent mask rows straight from the lattice's packed member masks —
+no per-rule Python object is built unless a caller iterates the rule
+set.  The pre-columnar per-pair loop is kept as
+:meth:`LuxenburgerBasis.iter_rules_reference`, the oracle the
+equivalence tests and the rule-materialisation benchmark compare
+against.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-import numpy as np
-
 from ..errors import InvalidParameterError
-from .constants import EPSILON
+from .bitmatrix import BitMatrix
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
 from .lattice import IcebergLattice
+from .rulearrays import RuleArrays, relative_supports
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["LuxenburgerBasis", "build_luxenburger_basis"]
@@ -84,38 +89,53 @@ class LuxenburgerBasis:
             if lattice is not None
             else IcebergLattice(closed, strategy=lattice_strategy)
         )
-        self._rules = RuleSet(self._build_rules())
+        self._rules = RuleSet.from_arrays(self._build_arrays())
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
-    def _build_rules(self) -> Iterator[AssociationRule]:
+    def _build_arrays(self) -> RuleArrays:
+        """Assemble the basis as columns, straight from the lattice arrays.
+
+        Antecedent rows are the smaller members' packed masks, consequent
+        rows the AND-NOT of the larger and smaller masks — the whole
+        basis is a handful of fancy-indexing gathers, with no per-rule
+        Python work at all.
+        """
         lattice = self._lattice
-        if self._reduced:
-            rows, cols = lattice.hasse_edge_indices()
-        else:
-            rows, cols = lattice.containment_indices()
-        counts = lattice.support_counts()
-        smaller_counts = counts[rows].astype(np.float64)
-        larger_counts = counts[cols].astype(np.float64)
-        confidences = np.divide(
-            larger_counts,
-            smaller_counts,
-            out=np.zeros_like(larger_counts),
-            where=smaller_counts != 0,
+        rows, cols, confidences = lattice.confidence_window_pairs(
+            self._minconf, reduced=self._reduced
         )
-        # One vectorised threshold pass instead of a per-pair Python test.
-        # Confidence 1 between two *distinct* closed sets would mean the
-        # smaller one is not closed; guarded for malformed input.
-        keep = (confidences < 1.0 - EPSILON) & (
-            confidences >= self._minconf - EPSILON
+        masks = lattice.member_masks()
+        universe = lattice.item_universe
+        antecedents = masks[rows]
+        consequents = masks[cols] & ~antecedents
+        larger_counts = lattice.support_counts()[cols]
+        return RuleArrays(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            relative_supports(larger_counts, self._closed.n_objects),
+            confidences,
+            larger_counts,
+        )
+
+    def iter_rules_reference(self) -> Iterator[AssociationRule]:
+        """The pre-columnar per-rule object pipeline, kept as the oracle.
+
+        Yields exactly the rules of :attr:`rules`, each materialised the
+        old way (one :class:`AssociationRule` and two Itemset set
+        operations per pair).  Used by the equivalence tests and as the
+        baseline of the rule-materialisation microbenchmark.
+        """
+        lattice = self._lattice
+        rows, cols, confidences = lattice.confidence_window_pairs(
+            self._minconf, reduced=self._reduced
         )
         members = lattice.members
         supports = lattice.support_counts()
         n_objects = self._closed.n_objects
-        for row, col, confidence in zip(
-            np.asarray(rows)[keep], np.asarray(cols)[keep], confidences[keep]
-        ):
+        for row, col, confidence in zip(rows, cols, confidences):
             smaller = members[row]
             larger = members[col]
             larger_count = int(supports[col])

@@ -1,0 +1,570 @@
+"""Columnar (structure-of-arrays) storage for association rules.
+
+The rule bases of the paper are pure functions of the closed-set lattice,
+which :mod:`repro.core.order` already holds as packed uint64 arrays — yet
+until this module existed every basis was materialised one
+:class:`~repro.core.rules.AssociationRule` Python object at a time.  On
+rule-dense workloads (10⁵–10⁶ informative / Luxenburger rules) that
+object layer dominated end-to-end time and memory.
+
+:class:`RuleArrays` keeps a rule collection as five aligned columns:
+
+* ``antecedents`` / ``consequents`` — packed item-mask rows
+  (:class:`~repro.core.bitmatrix.BitMatrix`, bit ``i`` ⇔
+  ``universe[i]``, same little-endian layout as the lattice masks);
+* ``support`` / ``confidence`` — float64 columns;
+* ``support_count`` — int64 column (``-1`` encodes "unknown", the
+  array form of ``AssociationRule.support_count is None``).
+
+Everything the experiment pipeline does per rule — dedup on the
+``(antecedent, consequent)`` identity, canonical sorting, min-confidence
+/ min-support / exact / approximate filtering, concatenation and the
+key-based set operations — runs as one vectorised pass over the columns.
+:class:`~repro.core.rules.RuleSet` wraps a ``RuleArrays`` through
+``RuleSet.from_arrays`` and only materialises Python rule objects when a
+caller actually iterates them, so the hot path (building a basis,
+counting it, filtering it) never touches object space.
+
+Rows are trusted to describe well-formed rules (disjoint sides,
+non-empty consequent, probabilities in range) — the builders construct
+them from lattice invariants that guarantee it, and
+:meth:`RuleArrays.validate` re-checks the contract in tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from .bitmatrix import _BLOCK_CELLS, BitMatrix, _pack_rows
+from .constants import EPSILON
+from .itemset import Item, Itemset, _sort_key
+
+__all__ = [
+    "RuleArrays",
+    "pack_itemsets_into",
+    "pack_itemset_words",
+    "mask_to_itemset",
+    "relative_supports",
+    "sorted_universe",
+]
+
+
+def sorted_universe(items: Iterable[Item]) -> tuple[Item, ...]:
+    """The canonical (ascending) item order used for bit positions.
+
+    Shared by every packing consumer (rule columns, the closure-lookup
+    index of :class:`~repro.core.families.ClosedItemsetFamily`, the
+    pseudo-closed computation, generator masks) so that "bit ``i`` means
+    ``universe[i]``" is one convention, not several.
+    """
+    distinct = set(items)
+    try:
+        return tuple(sorted(distinct))
+    except TypeError:
+        return tuple(sorted(distinct, key=_sort_key))
+
+
+#: Backward-compatible alias (the helper predates its promotion to the
+#: public packing API).
+_sorted_universe = sorted_universe
+
+
+def pack_itemset_words(
+    itemset: Iterable[Item],
+    item_position: dict,
+    n_words: int,
+) -> np.ndarray:
+    """Pack one itemset into a length-``n_words`` uint64 little-endian row.
+
+    The single-row companion of :func:`pack_itemsets_into` for callers
+    that pack incrementally against a prebuilt ``item -> bit position``
+    mapping (the pseudo-closed scan, the closure-lookup index).  Raises
+    ``KeyError`` for an item missing from the mapping.
+    """
+    words = np.zeros(n_words, dtype=np.uint64)
+    for item in itemset:
+        position = item_position[item]
+        words[position >> 6] |= np.uint64(1) << np.uint64(position & 63)
+    return words
+
+
+def relative_supports(counts: np.ndarray, n_objects: int) -> np.ndarray:
+    """An absolute support-count column as float64 relative supports.
+
+    The shared counts-to-probability convention of every array-native
+    basis builder: plain division, with ``n_objects == 0`` mapping to an
+    all-zero column (the value the object pipeline used per rule).
+    """
+    if n_objects:
+        return counts.astype(np.float64) / n_objects
+    return np.zeros(len(counts), dtype=np.float64)
+
+
+def pack_itemsets_into(
+    itemsets: Sequence[Itemset],
+    universe: Sequence[Item],
+) -> BitMatrix:
+    """Pack *itemsets* as rows of a :class:`BitMatrix` over a fixed universe.
+
+    Bit ``i`` of a row is set iff the itemset contains ``universe[i]``.
+    Raises when an itemset holds an item outside the universe (the packed
+    row could not represent it).  The dense presence temporaries are
+    bounded row blocks, so packing a million-rule collection never
+    allocates an ``n x |universe|`` bool matrix.
+    """
+    index = {item: position for position, item in enumerate(universe)}
+    n_cols = len(universe)
+    out = BitMatrix.zeros(len(itemsets), n_cols)
+    block = max(1, _BLOCK_CELLS // max(1, n_cols))
+    for start in range(0, len(itemsets), block):
+        chunk = itemsets[start : start + block]
+        presence = np.zeros((len(chunk), n_cols), dtype=bool)
+        for row, itemset in enumerate(chunk):
+            for item in itemset:
+                try:
+                    presence[row, index[item]] = True
+                except KeyError:
+                    raise InvalidParameterError(
+                        f"item {item!r} of {itemset} is outside the packing universe"
+                    ) from None
+        out.words[start : start + len(chunk)] = _pack_rows(presence)
+    return out
+
+
+def mask_to_itemset(matrix: BitMatrix, row: int, universe: Sequence[Item]) -> Itemset:
+    """Materialise one packed row back into an :class:`Itemset`."""
+    return Itemset(universe[position] for position in matrix.row_indices(row))
+
+
+def _reversed_bit_rows(matrix: BitMatrix) -> np.ndarray:
+    """Each row's bit string reversed over the full padded word width.
+
+    Used by the canonical sort: for two masks of equal popcount, the
+    ascending-index tuple of ``x`` precedes that of ``y`` exactly when
+    the *lowest* differing bit belongs to ``x`` — i.e. when the
+    bit-reversed row of ``x`` is the *larger* multiword integer.  Rows
+    are processed in bounded blocks so the unpacked bool temporaries
+    never exceed the shared working-set budget.
+    """
+    n_rows, n_words = matrix.words.shape
+    out = np.empty((n_rows, n_words), dtype=np.uint64)
+    if n_words == 0 or n_rows == 0:
+        return out
+    block = max(1, _BLOCK_CELLS // max(1, n_words * 64))
+    for start in range(0, n_rows, block):
+        raw = np.ascontiguousarray(matrix.words[start : start + block]).view(np.uint8)
+        bits = np.unpackbits(raw, axis=1, bitorder="little")
+        packed = np.packbits(bits[:, ::-1], axis=1, bitorder="little")
+        out[start : start + bits.shape[0]] = np.ascontiguousarray(packed).view(
+            np.uint64
+        )
+    return out
+
+
+class RuleArrays:
+    """A rule collection as aligned columns over a fixed item universe.
+
+    Parameters
+    ----------
+    antecedents, consequents:
+        Packed item-mask rows (one rule per row, same shape).
+    universe:
+        Items in canonical ascending order; bit ``i`` of every mask row
+        refers to ``universe[i]``.
+    support, confidence:
+        Float64 columns (coerced and frozen).
+    support_count:
+        Int64 column; ``-1`` means the absolute count is unknown.
+        ``None`` fills the column with ``-1``.
+    """
+
+    __slots__ = (
+        "antecedents",
+        "consequents",
+        "universe",
+        "support",
+        "confidence",
+        "support_count",
+    )
+
+    def __init__(
+        self,
+        antecedents: BitMatrix,
+        consequents: BitMatrix,
+        universe: Sequence[Item],
+        support: np.ndarray,
+        confidence: np.ndarray,
+        support_count: np.ndarray | None = None,
+    ) -> None:
+        n = antecedents.n_rows
+        if consequents.shape != antecedents.shape:
+            raise InvalidParameterError(
+                f"antecedent/consequent shape mismatch: {antecedents.shape} "
+                f"vs {consequents.shape}"
+            )
+        if antecedents.n_cols != len(universe):
+            raise InvalidParameterError(
+                f"{antecedents.n_cols}-column masks cannot index a "
+                f"{len(universe)}-item universe"
+            )
+        support = np.ascontiguousarray(support, dtype=np.float64)
+        confidence = np.ascontiguousarray(confidence, dtype=np.float64)
+        if support_count is None:
+            support_count = np.full(n, -1, dtype=np.int64)
+        else:
+            support_count = np.ascontiguousarray(support_count, dtype=np.int64)
+        for label, column in (
+            ("support", support),
+            ("confidence", confidence),
+            ("support_count", support_count),
+        ):
+            if column.shape != (n,):
+                raise InvalidParameterError(
+                    f"{label} column has shape {column.shape}, expected ({n},)"
+                )
+        self.antecedents = antecedents
+        self.consequents = consequents
+        self.universe = tuple(universe)
+        self.support = support
+        self.confidence = confidence
+        self.support_count = support_count
+        # Freeze every column, mask words included: the arrays are handed
+        # out through RuleSet.to_arrays / BuiltBasis.rule_arrays and may
+        # back a lazily materialised RuleSet — a consumer writing into
+        # them would silently corrupt answers already given.
+        frozen = (
+            support,
+            confidence,
+            support_count,
+            antecedents.words,
+            consequents.words,
+        )
+        for array in frozen:
+            array.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, universe: Sequence[Item] = ()) -> "RuleArrays":
+        """A zero-rule collection over *universe*."""
+        n_cols = len(universe)
+        return cls(
+            BitMatrix.zeros(0, n_cols),
+            BitMatrix.zeros(0, n_cols),
+            tuple(universe),
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_rules(
+        cls, rules: Iterable, universe: Sequence[Item] | None = None
+    ) -> "RuleArrays":
+        """Pack an iterable of :class:`AssociationRule` objects into columns.
+
+        When *universe* is omitted it is derived from the rules' items in
+        canonical order.  Row order is iteration order (the insertion
+        order of a :class:`~repro.core.rules.RuleSet`).
+        """
+        rules = list(rules)
+        if universe is None:
+            universe = _sorted_universe(
+                item for rule in rules for item in rule.itemset
+            )
+        antecedents = pack_itemsets_into([rule.antecedent for rule in rules], universe)
+        consequents = pack_itemsets_into([rule.consequent for rule in rules], universe)
+        support = np.array([rule.support for rule in rules], dtype=np.float64)
+        confidence = np.array([rule.confidence for rule in rules], dtype=np.float64)
+        counts = np.array(
+            [
+                -1 if rule.support_count is None else rule.support_count
+                for rule in rules
+            ],
+            dtype=np.int64,
+        )
+        return cls(antecedents, consequents, universe, support, confidence, counts)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.antecedents.n_rows
+
+    def __repr__(self) -> str:
+        return f"RuleArrays({len(self)} rules, {len(self.universe)} items)"
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the columns."""
+        return (
+            self.antecedents.words.nbytes
+            + self.consequents.words.nbytes
+            + self.support.nbytes
+            + self.confidence.nbytes
+            + self.support_count.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Row selection
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "RuleArrays":
+        """A new collection holding the rows *indices*, in that order."""
+        indices = np.asarray(indices)
+        return RuleArrays(
+            BitMatrix(self.antecedents.words[indices], self.antecedents.n_cols),
+            BitMatrix(self.consequents.words[indices], self.consequents.n_cols),
+            self.universe,
+            self.support[indices],
+            self.confidence[indices],
+            self.support_count[indices],
+        )
+
+    def select(self, mask: np.ndarray) -> "RuleArrays":
+        """The rows where the boolean *mask* is true, order preserved."""
+        return self.take(np.nonzero(np.asarray(mask, dtype=bool))[0])
+
+    # ------------------------------------------------------------------
+    # Vectorised filters (same EPSILON semantics as RuleSet)
+    # ------------------------------------------------------------------
+    def exact_mask(self) -> np.ndarray:
+        """Boolean column: confidence-1 rules."""
+        return self.confidence >= 1.0 - EPSILON
+
+    def exact(self) -> "RuleArrays":
+        """The 100 %-confidence rules."""
+        return self.select(self.exact_mask())
+
+    def approximate(self) -> "RuleArrays":
+        """The rules with confidence strictly below 1."""
+        return self.select(~self.exact_mask())
+
+    def with_min_confidence(self, minconf: float) -> "RuleArrays":
+        """The rules whose confidence is at least *minconf*."""
+        return self.select(self.confidence >= minconf - EPSILON)
+
+    def with_min_support(self, minsup: float) -> "RuleArrays":
+        """The rules whose support is at least *minsup*."""
+        return self.select(self.support >= minsup - EPSILON)
+
+    # ------------------------------------------------------------------
+    # Keys, dedup, canonical sort
+    # ------------------------------------------------------------------
+    def key_view(self) -> np.ndarray:
+        """The ``(antecedent, consequent)`` identity per row as a void column.
+
+        Two rows compare equal exactly when they describe the same
+        implication, which makes the view directly usable with
+        ``np.unique`` / ``np.isin`` for the set operations.
+        """
+        combined = np.concatenate(
+            [self.antecedents.words, self.consequents.words], axis=1
+        )
+        if combined.shape[1] == 0:
+            # Empty universe: every row is the (degenerate) same key.
+            return np.zeros(len(self), dtype=np.int64)
+        flat = np.ascontiguousarray(combined)
+        return flat.view(np.dtype((np.void, flat.shape[1] * 8))).reshape(-1)
+
+    def deduplicated(self) -> "RuleArrays":
+        """Drop duplicate keys, first occurrence wins, order preserved.
+
+        Mirrors :class:`~repro.core.rules.RuleSet` insertion semantics.
+        """
+        keys = self.key_view()
+        _, first = np.unique(keys, return_index=True)
+        if first.size == len(self):
+            return self
+        return self.take(np.sort(first))
+
+    def canonical_order(self) -> np.ndarray:
+        """Row permutation sorting by the ``(antecedent, consequent)`` order.
+
+        The order is exactly ``AssociationRule.__lt__``: antecedent first,
+        consequent second, each compared as Itemsets (cardinality, then
+        lexicographic on the ascending item tuple).  For equal-size masks
+        the tuple comparison reduces to "the lowest differing bit belongs
+        to the smaller set", which the bit-reversed rows expose as a
+        plain descending multiword integer comparison — so the whole sort
+        is one ``np.lexsort`` over numeric columns.
+        """
+        keys: list[np.ndarray] = []
+
+        def push(matrix: BitMatrix) -> None:
+            reversed_rows = _reversed_bit_rows(matrix)
+            # lexsort is ascending; ascending itemset order is descending
+            # on the reversed rows, so complement every word.  Least
+            # significant word first — lexsort's last key is primary.
+            for word in range(reversed_rows.shape[1]):
+                keys.append(~reversed_rows[:, word])
+            keys.append(matrix.row_counts())
+
+        push(self.consequents)
+        push(self.antecedents)
+        if not keys:
+            return np.arange(len(self))
+        return np.lexsort(keys)
+
+    def sorted_canonically(self) -> "RuleArrays":
+        """The rows reordered into the canonical rule order."""
+        return self.take(self.canonical_order())
+
+    # ------------------------------------------------------------------
+    # Concatenation and set operations on rule identities
+    # ------------------------------------------------------------------
+    def same_universe(self, other: "RuleArrays") -> bool:
+        """Whether both collections share the same packing universe."""
+        return self.universe == other.universe
+
+    def project_to(self, universe: Sequence[Item]) -> "RuleArrays":
+        """Re-pack the masks over a different (super-)universe.
+
+        Every item of the current universe must appear in the target one;
+        column bits are permuted accordingly (blocked unpack/scatter/
+        repack, bounded temporaries).
+        """
+        universe = tuple(universe)
+        if universe == self.universe:
+            return self
+        index = {item: position for position, item in enumerate(universe)}
+        try:
+            mapping = np.array(
+                [index[item] for item in self.universe], dtype=np.intp
+            )
+        except KeyError as exc:
+            raise InvalidParameterError(
+                f"target universe is missing item {exc.args[0]!r}"
+            ) from None
+
+        def remap(matrix: BitMatrix) -> BitMatrix:
+            n_rows = matrix.n_rows
+            out = BitMatrix.zeros(n_rows, len(universe))
+            if n_rows == 0 or matrix.n_cols == 0:
+                return out
+            block = max(1, _BLOCK_CELLS // max(1, len(universe)))
+            for start in range(0, n_rows, block):
+                raw = np.ascontiguousarray(matrix.words[start : start + block]).view(
+                    np.uint8
+                )
+                bits = np.unpackbits(raw, axis=1, bitorder="little")
+                scattered = np.zeros((bits.shape[0], len(universe)), dtype=bool)
+                scattered[:, mapping] = bits[:, : matrix.n_cols].astype(bool)
+                out.words[start : start + bits.shape[0]] = BitMatrix.from_dense(
+                    scattered
+                ).words
+            return out
+
+        return RuleArrays(
+            remap(self.antecedents),
+            remap(self.consequents),
+            universe,
+            self.support,
+            self.confidence,
+            self.support_count,
+        )
+
+    def _aligned_pair(self, other: "RuleArrays") -> tuple["RuleArrays", "RuleArrays"]:
+        if self.same_universe(other):
+            return self, other
+        merged = _sorted_universe(self.universe + other.universe)
+        return self.project_to(merged), other.project_to(merged)
+
+    def concat(self, other: "RuleArrays") -> "RuleArrays":
+        """Row-wise concatenation (duplicates kept; universes aligned)."""
+        first, second = self._aligned_pair(other)
+        return RuleArrays(
+            BitMatrix(
+                np.concatenate([first.antecedents.words, second.antecedents.words]),
+                first.antecedents.n_cols,
+            ),
+            BitMatrix(
+                np.concatenate([first.consequents.words, second.consequents.words]),
+                first.consequents.n_cols,
+            ),
+            first.universe,
+            np.concatenate([first.support, second.support]),
+            np.concatenate([first.confidence, second.confidence]),
+            np.concatenate([first.support_count, second.support_count]),
+        )
+
+    def union(self, other: "RuleArrays") -> "RuleArrays":
+        """Key-based union; on duplicate keys this collection's row wins."""
+        return self.concat(other).deduplicated()
+
+    def difference(self, other: "RuleArrays") -> "RuleArrays":
+        """The rows of *self* whose key does not appear in *other*."""
+        first, second = self._aligned_pair(other)
+        present = np.isin(first.key_view(), second.key_view())
+        return first.select(~present)
+
+    def intersection(self, other: "RuleArrays") -> "RuleArrays":
+        """The rows of *self* whose key appears in *other* (self's stats)."""
+        first, second = self._aligned_pair(other)
+        present = np.isin(first.key_view(), second.key_view())
+        return first.select(present)
+
+    # ------------------------------------------------------------------
+    # Column reductions (the summary statistics of the reports)
+    # ------------------------------------------------------------------
+    def count_exact(self) -> int:
+        """Number of confidence-1 rules."""
+        return int(np.count_nonzero(self.exact_mask()))
+
+    def count_approximate(self) -> int:
+        """Number of rules with confidence strictly below 1."""
+        return len(self) - self.count_exact()
+
+    def average_confidence(self) -> float:
+        """Mean confidence (0 for an empty collection)."""
+        return float(self.confidence.mean()) if len(self) else 0.0
+
+    def average_support(self) -> float:
+        """Mean support (0 for an empty collection)."""
+        return float(self.support.mean()) if len(self) else 0.0
+
+    # ------------------------------------------------------------------
+    # Object materialisation (the lazy view RuleSet exposes)
+    # ------------------------------------------------------------------
+    def rule_at(self, row: int):
+        """Materialise one row as an :class:`AssociationRule`."""
+        from .rules import AssociationRule
+
+        count = int(self.support_count[row])
+        return AssociationRule(
+            mask_to_itemset(self.antecedents, row, self.universe),
+            mask_to_itemset(self.consequents, row, self.universe),
+            support=float(self.support[row]),
+            confidence=float(self.confidence[row]),
+            support_count=None if count < 0 else count,
+        )
+
+    def iter_rules(self) -> Iterator:
+        """Materialise every row, in row order."""
+        for row in range(len(self)):
+            yield self.rule_at(row)
+
+    # ------------------------------------------------------------------
+    # Contract checking (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> list[str]:
+        """Re-check the well-formed-rule contract; returns violations."""
+        problems: list[str] = []
+        overlap = (self.antecedents.words & self.consequents.words).any(axis=1)
+        for row in np.nonzero(overlap)[0]:
+            problems.append(f"row {row}: antecedent and consequent overlap")
+        empty = self.consequents.row_counts() == 0
+        for row in np.nonzero(empty)[0]:
+            problems.append(f"row {row}: empty consequent")
+        bad_support = (self.support < -EPSILON) | (self.support > 1.0 + EPSILON)
+        for row in np.nonzero(bad_support)[0]:
+            problems.append(f"row {row}: support {self.support[row]} out of range")
+        bad_conf = (self.confidence <= 0.0) | (self.confidence > 1.0 + EPSILON)
+        for row in np.nonzero(bad_conf)[0]:
+            problems.append(
+                f"row {row}: confidence {self.confidence[row]} out of range"
+            )
+        return problems

@@ -10,18 +10,25 @@ rules from which every other rule can be deduced.
 
 :class:`AssociationRule` is an immutable value object.  :class:`RuleSet`
 is an order-preserving, duplicate-free collection with the filtering and
-comparison helpers used by the experiments.
+comparison helpers used by the experiments.  A ``RuleSet`` built with
+:meth:`RuleSet.from_arrays` is a *lazy view* over a columnar
+:class:`~repro.core.rulearrays.RuleArrays`: sizes, filters, statistics
+and set operations run vectorised on the columns, and Python rule
+objects are only materialised when a caller actually iterates them.
 """
 
 from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Iterator
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import InconsistentRuleError
 from .constants import EPSILON
 from .itemset import Item, Itemset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .rulearrays import RuleArrays
 
 __all__ = ["AssociationRule", "RuleSet"]
 
@@ -184,12 +191,65 @@ class RuleSet:
     first occurrence wins.  Iteration order is insertion order, which keeps
     reports stable, while :meth:`sorted_rules` gives the canonical order
     used in the documentation and the tests.
+
+    Array-backed sets (:meth:`from_arrays`) keep the columnar storage
+    around: ``len``, the confidence/support filters, the exact/approximate
+    splits, the summary statistics and the set operations all answer from
+    the columns without building a single rule object.  Any mutation
+    first materialises the object view and then drops the (now stale)
+    columns.
     """
 
     def __init__(self, rules: Iterable[AssociationRule] = ()) -> None:
-        self._rules: dict[tuple[Itemset, Itemset], AssociationRule] = {}
+        self._materialized: dict[tuple[Itemset, Itemset], AssociationRule] | None = {}
+        self._arrays: RuleArrays | None = None
         for rule in rules:
             self.add(rule)
+
+    # ------------------------------------------------------------------
+    # Columnar construction and access
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls, arrays: "RuleArrays", *, assume_unique: bool = False
+    ) -> "RuleSet":
+        """Wrap a :class:`RuleArrays` as a lazy rule set.
+
+        The columns are deduplicated on the ``(antecedent, consequent)``
+        key (first row wins, matching :meth:`add` semantics) so that the
+        array length and the materialised length always agree.  No rule
+        object is built until the set is iterated.  ``assume_unique``
+        skips the dedup pass for arrays whose keys are unique by
+        construction — row subsets of an already wrapped set, or the
+        output of the array set operations — so the derived views below
+        stay O(selection) instead of paying a key sort each.
+        """
+        ruleset = cls.__new__(cls)
+        ruleset._materialized = None
+        ruleset._arrays = arrays if assume_unique else arrays.deduplicated()
+        return ruleset
+
+    def to_arrays(self) -> "RuleArrays":
+        """The columnar form of the set (cached until the set mutates)."""
+        if self._arrays is None:
+            from .rulearrays import RuleArrays
+
+            self._arrays = RuleArrays.from_rules(self._rules.values())
+        return self._arrays
+
+    @property
+    def _rules(self) -> dict[tuple[Itemset, Itemset], AssociationRule]:
+        """The object view, materialised from the columns on first use."""
+        if self._materialized is None:
+            assert self._arrays is not None
+            self._materialized = {
+                rule.key(): rule for rule in self._arrays.iter_rules()
+            }
+        return self._materialized
+
+    def is_materialized(self) -> bool:
+        """Whether the per-rule Python objects have been built."""
+        return self._materialized is not None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -197,9 +257,11 @@ class RuleSet:
     def add(self, rule: AssociationRule) -> bool:
         """Add a rule; return ``True`` if it was not already present."""
         key = rule.key()
-        if key in self._rules:
+        rules = self._rules
+        if key in rules:
             return False
-        self._rules[key] = rule
+        rules[key] = rule
+        self._arrays = None  # the columns no longer describe the set
         return True
 
     def update(self, rules: Iterable[AssociationRule]) -> int:
@@ -208,13 +270,18 @@ class RuleSet:
 
     def discard(self, rule: AssociationRule) -> bool:
         """Remove a rule if present; return whether it was present."""
-        return self._rules.pop(rule.key(), None) is not None
+        removed = self._rules.pop(rule.key(), None) is not None
+        if removed:
+            self._arrays = None
+        return removed
 
     # ------------------------------------------------------------------
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._rules)
+        if self._materialized is None:
+            return len(self._arrays)
+        return len(self._materialized)
 
     def __iter__(self) -> Iterator[AssociationRule]:
         return iter(self._rules.values())
@@ -227,10 +294,10 @@ class RuleSet:
         return False
 
     def __bool__(self) -> bool:
-        return bool(self._rules)
+        return len(self) > 0
 
     def __repr__(self) -> str:
-        return f"RuleSet({len(self._rules)} rules)"
+        return f"RuleSet({len(self)} rules)"
 
     def get(
         self,
@@ -254,10 +321,14 @@ class RuleSet:
 
     def exact_rules(self) -> "RuleSet":
         """Return the sub-collection of 100 %-confidence rules."""
+        if self._arrays is not None:
+            return RuleSet.from_arrays(self._arrays.exact(), assume_unique=True)
         return self.filter(lambda r: r.is_exact)
 
     def approximate_rules(self) -> "RuleSet":
         """Return the sub-collection of rules with confidence < 1."""
+        if self._arrays is not None:
+            return RuleSet.from_arrays(self._arrays.approximate(), assume_unique=True)
         return self.filter(lambda r: r.is_approximate)
 
     def filter(self, predicate: Callable[[AssociationRule], bool]) -> "RuleSet":
@@ -266,10 +337,18 @@ class RuleSet:
 
     def with_min_confidence(self, minconf: float) -> "RuleSet":
         """Return the rules whose confidence is at least *minconf*."""
+        if self._arrays is not None:
+            return RuleSet.from_arrays(
+                self._arrays.with_min_confidence(minconf), assume_unique=True
+            )
         return self.filter(lambda r: r.confidence >= minconf - EPSILON)
 
     def with_min_support(self, minsup: float) -> "RuleSet":
         """Return the rules whose support is at least *minsup*."""
+        if self._arrays is not None:
+            return RuleSet.from_arrays(
+                self._arrays.with_min_support(minsup), assume_unique=True
+            )
         return self.filter(lambda r: r.support >= minsup - EPSILON)
 
     # ------------------------------------------------------------------
@@ -277,16 +356,28 @@ class RuleSet:
     # ------------------------------------------------------------------
     def union(self, other: "RuleSet") -> "RuleSet":
         """Return the union of the two rule sets (self's duplicates win)."""
+        if self._arrays is not None and other._arrays is not None:
+            return RuleSet.from_arrays(
+                self._arrays.union(other._arrays), assume_unique=True
+            )
         merged = RuleSet(self)
         merged.update(other)
         return merged
 
     def difference(self, other: "RuleSet") -> "RuleSet":
         """Return the rules of *self* not present in *other*."""
+        if self._arrays is not None and other._arrays is not None:
+            return RuleSet.from_arrays(
+                self._arrays.difference(other._arrays), assume_unique=True
+            )
         return self.filter(lambda r: r not in other)
 
     def intersection(self, other: "RuleSet") -> "RuleSet":
         """Return the rules present in both rule sets."""
+        if self._arrays is not None and other._arrays is not None:
+            return RuleSet.from_arrays(
+                self._arrays.intersection(other._arrays), assume_unique=True
+            )
         return self.filter(lambda r: r in other)
 
     def same_rules(self, other: "RuleSet") -> bool:
@@ -308,20 +399,28 @@ class RuleSet:
     # ------------------------------------------------------------------
     def count_exact(self) -> int:
         """Number of exact rules in the collection."""
+        if self._arrays is not None:
+            return self._arrays.count_exact()
         return sum(1 for rule in self if rule.is_exact)
 
     def count_approximate(self) -> int:
         """Number of approximate rules in the collection."""
+        if self._arrays is not None:
+            return self._arrays.count_approximate()
         return sum(1 for rule in self if rule.is_approximate)
 
     def average_confidence(self) -> float:
         """Mean confidence over the collection (0 for an empty collection)."""
+        if self._arrays is not None:
+            return self._arrays.average_confidence()
         if not self._rules:
             return 0.0
         return sum(rule.confidence for rule in self) / len(self._rules)
 
     def average_support(self) -> float:
         """Mean support over the collection (0 for an empty collection)."""
+        if self._arrays is not None:
+            return self._arrays.average_support()
         if not self._rules:
             return 0.0
         return sum(rule.support for rule in self) / len(self._rules)

@@ -32,7 +32,14 @@ import numpy as np
 from ..errors import InvalidParameterError
 from .context import TransactionDatabase
 
-__all__ = ["QuestGenerator", "make_quest_dataset", "make_star_closed_family"]
+__all__ = [
+    "QuestGenerator",
+    "make_quest_dataset",
+    "make_star_closed_family",
+    "make_rule_dense_context",
+    "make_rule_dense_family",
+    "rule_dense_expected_counts",
+]
 
 
 class QuestGenerator:
@@ -255,3 +262,101 @@ def make_star_closed_family(
     return ClosedItemsetFamily(
         supports, n_objects=n_objects, minsup_count=top_support
     )
+
+
+def _rule_dense_level_items(level: int, multiplicity: int) -> list[str]:
+    """The clone items of one chain level (zero-padded for stable order)."""
+    return [f"c{level:04d}_{clone}" for clone in range(multiplicity)]
+
+
+def make_rule_dense_context(
+    chain_length: int = 250,
+    generator_multiplicity: int = 2,
+) -> TransactionDatabase:
+    """A context whose rule bases are huge but analytically known.
+
+    The transactions realise a *clone chain*: level ``j`` (``1..L``)
+    contributes ``generator_multiplicity`` perfectly correlated clone
+    items, and transaction ``t_j`` contains every item of levels
+    ``1..j``; one extra transaction holds a single unrelated item so
+    that no item is universal (``h(∅) = ∅``).  The frequent closed
+    itemsets at ``minsup_count = 1`` are then exactly the ``L`` chain
+    prefixes plus the singleton ``{solo}``, each prefix having one
+    minimal generator per clone — which makes the rule bases explode
+    combinatorially while mining stays trivial:
+
+    * full Luxenburger basis (``minconf = 0``): ``L·(L-1)/2`` rules,
+    * full informative basis: ``g·L·(L-1)/2`` rules,
+    * generic basis: ``g·L`` rules (``g ≥ 2``),
+
+    so the defaults give ~10⁵ informative+Luxenburger rules and
+    ``chain_length = 1000`` ~1.5·10⁶ (see
+    :func:`rule_dense_expected_counts`).  This is the workload of the
+    rule-materialisation microbenchmark and of the array-vs-object
+    equivalence tests; :func:`make_rule_dense_family` builds the same
+    closed/generator families directly, without mining.
+    """
+    if chain_length < 2:
+        raise InvalidParameterError("chain_length must be at least 2")
+    if generator_multiplicity < 1:
+        raise InvalidParameterError("generator_multiplicity must be at least 1")
+    transactions: list[list[str]] = [["solo"]]
+    prefix: list[str] = []
+    for level in range(1, chain_length + 1):
+        prefix = prefix + _rule_dense_level_items(level, generator_multiplicity)
+        transactions.append(list(prefix))
+    name = f"rule-dense-L{chain_length}-g{generator_multiplicity}"
+    return TransactionDatabase(transactions, name=name)
+
+
+def make_rule_dense_family(
+    chain_length: int = 250,
+    generator_multiplicity: int = 2,
+) -> tuple["ClosedItemsetFamily", "GeneratorFamily"]:
+    """The closed family and minimal generators of the clone-chain context.
+
+    Built directly from the analytic structure (no mining): prefix ``j``
+    has support ``L - j + 1`` and one minimal generator per clone of its
+    last level; the ``{solo}`` singleton has support 1 and is its own
+    generator.  Equality with the mined families is asserted by the
+    data-generator tests, so benchmarks can skip the (slower) mining
+    step without drifting from the real pipeline.
+    """
+    from ..core.families import ClosedItemsetFamily
+    from ..core.generators import GeneratorFamily
+    from ..core.itemset import Itemset
+
+    if chain_length < 2:
+        raise InvalidParameterError("chain_length must be at least 2")
+    if generator_multiplicity < 1:
+        raise InvalidParameterError("generator_multiplicity must be at least 1")
+    n_objects = chain_length + 1
+    supports: dict[Itemset, int] = {Itemset(["solo"]): 1}
+    generators_by_closure: dict[Itemset, list[Itemset]] = {
+        Itemset(["solo"]): [Itemset(["solo"])]
+    }
+    prefix: list[str] = []
+    for level in range(1, chain_length + 1):
+        level_items = _rule_dense_level_items(level, generator_multiplicity)
+        prefix = prefix + level_items
+        closed = Itemset(prefix)
+        supports[closed] = chain_length - level + 1
+        generators_by_closure[closed] = [Itemset([item]) for item in level_items]
+    family = ClosedItemsetFamily(supports, n_objects=n_objects, minsup_count=1)
+    return family, GeneratorFamily(family, generators_by_closure)
+
+
+def rule_dense_expected_counts(
+    chain_length: int, generator_multiplicity: int
+) -> dict[str, int]:
+    """Closed-form basis sizes of the clone-chain context at ``minconf = 0``."""
+    pairs = chain_length * (chain_length - 1) // 2
+    return {
+        "closed_itemsets": chain_length + 1,
+        "luxenburger_full": pairs,
+        "luxenburger_reduced": chain_length - 1,
+        "informative_full": generator_multiplicity * pairs,
+        "informative_reduced": generator_multiplicity * (chain_length - 1),
+        "generic": generator_multiplicity * chain_length
+        - (1 if generator_multiplicity == 1 else 0),
+    }

@@ -10,7 +10,9 @@ The CLI gives quick terminal access to the things users do most:
   the reduction report; ``--bases dg,generic,...`` selects any subset of
   the registered rule bases by name and ``repro list-bases`` lists them;
 * ``repro experiment T3`` — regenerate one of the paper tables
-  (T1–T5, F1–F3, A1–A2) on the benchmark-scale datasets.
+  (T1–T6, F1–F3, A1–A2) on the benchmark-scale datasets; T6 is the
+  columnar per-basis statistics table added with the array-native rule
+  layer.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ _EXPERIMENTS = {
     "T3": tables.table3_exact_rules,
     "T4": tables.table4_approximate_rules,
     "T5": tables.table5_total_reduction,
+    "T6": tables.table6_basis_statistics,
     "F1": tables.figure1_dense_runtimes,
     "F2": tables.figure2_sparse_runtimes,
     "F3": tables.figure3_rules_vs_minconf,

@@ -119,6 +119,29 @@ class RuleArtifacts:
         """The selected basis names, in selection order."""
         return tuple(self.bases)
 
+    def basis_summaries(self) -> list[dict[str, object]]:
+        """One vectorised statistics row per built basis (selection order).
+
+        Counts and averages come from numpy reductions over the columnar
+        rule store (:func:`repro.analysis.metrics.summarize_rules`), so
+        summarising even a million-rule basis never materialises a rule
+        object.
+        """
+        from ..analysis.metrics import summarize_rules
+
+        rows: list[dict[str, object]] = []
+        for name, built in self.bases.items():
+            row: dict[str, object] = {
+                "dataset": self.database_name,
+                "minsup": self.minsup,
+                "minconf": self.minconf,
+                "basis": name,
+                "kind": built.kind,
+            }
+            row.update(summarize_rules(built.rules))
+            rows.append(row)
+        return rows
+
     def __getitem__(self, name: str) -> BuiltBasis:
         return self._get(name)
 

@@ -30,6 +30,7 @@ __all__ = [
     "table3_exact_rules",
     "table4_approximate_rules",
     "table5_total_reduction",
+    "table6_basis_statistics",
     "figure1_dense_runtimes",
     "figure2_sparse_runtimes",
     "figure3_rules_vs_minconf",
@@ -171,6 +172,32 @@ def table5_total_reduction(
                     "reduction": round(report.total_reduction_factor, 2),
                 }
             )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# T6 — per-basis summary statistics (columnar reductions)
+# ----------------------------------------------------------------------
+def table6_basis_statistics(
+    specs: Sequence[DatasetSpec] | None = None,
+) -> list[dict[str, object]]:
+    """T6: size and average support/confidence of every selected basis.
+
+    The statistics come straight from numpy reductions over the columnar
+    rule store (no rule objects), one row per ``(dataset, basis)``.
+    """
+    specs = list(specs) if specs is not None else all_specs()
+    rows: list[dict[str, object]] = []
+    for spec, database in _build_databases(specs):
+        minsup = spec.rule_sweep[-1]
+        mining = mine_itemsets(database, minsup)
+        artifacts = build_rule_artifacts(
+            mining, minconf=spec.minconfs[0], bases=spec.bases
+        )
+        for row in artifacts.basis_summaries():
+            row["average_support"] = round(float(row["average_support"]), 4)
+            row["average_confidence"] = round(float(row["average_confidence"]), 4)
+            rows.append(row)
     return rows
 
 

@@ -141,6 +141,23 @@ class TestBasisEquivalence:
         expected = reference_rules(name, context)
         assert built.rules.same_rules_and_statistics(expected)
 
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_rule_dense_context(self, name):
+        """Array-native == object pipeline on the clone-chain workload."""
+        from repro.data.synthetic import make_rule_dense_context
+
+        context = make_context(make_rule_dense_context(5, 2), minsup=1e-9, minconf=0.0)
+        built = build_bases(context, [name])[name]
+        expected = reference_rules(name, context)
+        assert built.rules.same_rules_and_statistics(expected)
+
+    def test_rule_arrays_accessor(self, toy_db):
+        context = make_context(toy_db, minsup=0.4)
+        built = build_bases(context, "luxenburger")["luxenburger"]
+        arrays = built.rule_arrays
+        assert len(arrays) == len(built.rules)
+        assert built.rule_arrays is arrays  # cached columnar view
+
     def test_built_basis_shape(self, toy_db):
         context = make_context(toy_db, minsup=0.4)
         built = build_bases(context, "dg")["dg"]

@@ -13,7 +13,13 @@ from repro.data.benchmarks_data import (
     make_census,
     make_mushroom,
 )
-from repro.data.synthetic import QuestGenerator, make_quest_dataset
+from repro.data.synthetic import (
+    QuestGenerator,
+    make_quest_dataset,
+    make_rule_dense_context,
+    make_rule_dense_family,
+    rule_dense_expected_counts,
+)
 from repro.errors import InvalidParameterError
 
 
@@ -136,3 +142,62 @@ class TestCategoricalGenerators:
     def test_dense_suite_contains_three_datasets(self):
         suite = dense_benchmark_suite()
         assert [db.name for db in suite] == ["MUSHROOM*", "C20D10K*", "C73D10K*"]
+
+
+class TestRuleDenseGenerator:
+    """The clone-chain context and its analytic closed/generator families."""
+
+    @pytest.mark.parametrize(("chain", "multiplicity"), [(6, 2), (10, 1), (8, 3)])
+    def test_analytic_family_equals_mined_family(self, chain, multiplicity):
+        from repro.core.generators import GeneratorFamily
+
+        db = make_rule_dense_context(chain, multiplicity)
+        close = Close(minsup=1e-9)
+        mined_closed = close.mine(db)
+        closed, generators = make_rule_dense_family(chain, multiplicity)
+        assert mined_closed.to_dict() == closed.to_dict()
+        mined = GeneratorFamily(mined_closed, close.generators_by_closure)
+        assert mined.closed_itemsets() == generators.closed_itemsets()
+        for member in generators.closed_itemsets():
+            assert mined.generators_of(member) == generators.generators_of(member)
+        assert generators.verify_against(db) == []
+
+    @pytest.mark.parametrize(("chain", "multiplicity"), [(12, 2), (7, 1)])
+    def test_expected_counts_match_built_bases(self, chain, multiplicity):
+        from repro.core.informative import GenericBasis, InformativeBasis
+        from repro.core.lattice import IcebergLattice
+        from repro.core.luxenburger import LuxenburgerBasis
+
+        closed, generators = make_rule_dense_family(chain, multiplicity)
+        expected = rule_dense_expected_counts(chain, multiplicity)
+        assert len(closed) == expected["closed_itemsets"]
+        lattice = IcebergLattice(closed)
+        assert len(
+            LuxenburgerBasis(closed, 0.0, transitive_reduction=False, lattice=lattice)
+        ) == expected["luxenburger_full"]
+        assert len(
+            LuxenburgerBasis(closed, 0.0, transitive_reduction=True, lattice=lattice)
+        ) == expected["luxenburger_reduced"]
+        assert len(
+            InformativeBasis(generators, 0.0, reduced=False, lattice=lattice)
+        ) == expected["informative_full"]
+        assert len(
+            InformativeBasis(generators, 0.0, reduced=True, lattice=lattice)
+        ) == expected["informative_reduced"]
+        assert len(GenericBasis(generators)) == expected["generic"]
+
+    def test_rule_volume_scales_into_the_e5_e6_band(self):
+        # The documented knobs really reach the advertised rule volumes
+        # (no bases built here — closed form only).
+        default = rule_dense_expected_counts(250, 2)
+        assert 9e4 < default["informative_full"] + default["luxenburger_full"] < 1e6
+        large = rule_dense_expected_counts(1000, 2)
+        assert 1e6 < large["informative_full"] + large["luxenburger_full"] < 2e6
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            make_rule_dense_context(1, 2)
+        with pytest.raises(InvalidParameterError):
+            make_rule_dense_context(5, 0)
+        with pytest.raises(InvalidParameterError):
+            make_rule_dense_family(0, 1)

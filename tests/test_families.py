@@ -139,3 +139,53 @@ class TestClosedItemsetFamily:
     def test_expand_drops_empty_itemset(self, toy_closed_family):
         expanded = toy_closed_family.expand_to_frequent_itemsets()
         assert Itemset() not in expanded
+
+
+def closure_of_linear_scan(family: ClosedItemsetFamily, itemset: Itemset):
+    """The pre-index reference semantics: strictly-better-(len, count) scan."""
+    best = None
+    best_count = -1
+    for member, count in family.to_dict().items():
+        if itemset.issubset(member):
+            if best is None or len(member) < len(best) or (
+                len(member) == len(best) and count < best_count
+            ):
+                best = member
+                best_count = count
+    return best
+
+
+class TestClosureOfIndex:
+    """The size-bucketed packed lookup equals the linear reference scan."""
+
+    def test_matches_linear_scan_on_mined_families(self, random_db):
+        closed = Close(minsup=0.1).mine(random_db)
+        items = sorted({item for member in closed for item in member})
+        queries = [Itemset()] + [Itemset([item]) for item in items]
+        for member in closed:
+            queries.append(member)
+            queries.extend(member.subsets_of_size(min(2, len(member))))
+        queries.append(Itemset(items))  # usually uncovered -> None
+        queries.append(Itemset(["never-seen"]))
+        for query in queries:
+            assert closed.closure_of(query) == closure_of_linear_scan(closed, query)
+
+    def test_support_tie_resolution_prefers_lower_count(self):
+        # Deliberately malformed family (two incomparable same-size members
+        # both containing the query): the documented tie rule is minimal
+        # support, then earliest insertion.
+        family = ClosedItemsetFamily(
+            {Itemset("ab"): 4, Itemset("ac"): 2}, n_objects=5
+        )
+        assert family.closure_of(Itemset("a")) == Itemset("ac")
+        tied = ClosedItemsetFamily(
+            {Itemset("ab"): 3, Itemset("ac"): 3}, n_objects=5
+        )
+        assert tied.closure_of(Itemset("a")) == Itemset("ab")
+
+    def test_empty_family_and_unknown_items(self):
+        empty = ClosedItemsetFamily({}, n_objects=0)
+        assert empty.closure_of(Itemset("a")) is None
+        family = ClosedItemsetFamily({Itemset("a"): 1}, n_objects=2)
+        assert family.closure_of(Itemset("z")) is None
+        assert family.closure_of(Itemset()) == Itemset("a")

@@ -9,6 +9,7 @@ from repro.core.itemset import Itemset
 from repro.core.pseudo_closed import (
     PseudoClosedItemset,
     frequent_pseudo_closed_itemsets,
+    frequent_pseudo_closed_itemsets_reference,
 )
 from repro.errors import InvalidParameterError
 
@@ -81,6 +82,34 @@ class TestDefinition:
         db, _, _, pseudo = compute(random_db, 0.2)
         for entry in pseudo:
             assert entry.support_count == db.support_count(entry.closure)
+
+
+class TestPackedEquivalence:
+    """The packed inner loop equals the per-pair reference computation."""
+
+    @pytest.mark.parametrize("minsup", [0.1, 0.2, 0.4])
+    def test_matches_reference_on_random_databases(self, random_db, minsup):
+        frequent = Apriori(minsup).mine(random_db)
+        closed = Close(minsup).mine(random_db)
+        assert frequent_pseudo_closed_itemsets(
+            frequent, closed
+        ) == frequent_pseudo_closed_itemsets_reference(frequent, closed)
+
+    def test_matches_reference_on_special_contexts(
+        self, toy_db, allx_db, single_row_db, identical_rows_db, dense_smoke_db
+    ):
+        for db, minsup in [
+            (toy_db, 0.4),
+            (allx_db, 0.25),
+            (single_row_db, 0.5),
+            (identical_rows_db, 0.5),
+            (dense_smoke_db, 0.2),
+        ]:
+            frequent = Apriori(minsup).mine(db)
+            closed = Close(minsup).mine(db)
+            assert frequent_pseudo_closed_itemsets(
+                frequent, closed
+            ) == frequent_pseudo_closed_itemsets_reference(frequent, closed)
 
 
 class TestValidation:
