@@ -173,6 +173,65 @@ def test_rule_materialization_object_baseline(benchmark, rule_dense):
     assert total == len(luxenburger.rules) + len(informative.rules)
 
 
+def test_engine_rule_streaming_blocks(benchmark, rule_dense):
+    """Streamed informative expansion with deliberately small blocks (gated).
+
+    Forces ``block_rows=4096`` (vs the auto size of ~32k rows on this
+    universe) so the per-block Python overhead of the streamed CSR
+    expansion is visible to the regression gate; the output is asserted
+    equal to the analytic rule count.  The ratio against
+    ``test_engine_rule_materialization`` (auto blocks) is the streaming
+    overhead, which should stay within noise.
+    """
+    closed, generators, lattice = rule_dense
+    expected = rule_dense_expected_counts(RULE_DENSE_CHAIN, RULE_DENSE_MULTIPLICITY)
+
+    def build() -> int:
+        return len(
+            InformativeBasis(
+                generators,
+                minconf=0.0,
+                reduced=False,
+                lattice=lattice,
+                block_rows=4096,
+            ).rules
+        )
+
+    total = benchmark(build)
+    assert total == expected["informative_full"]
+
+
+def test_store_roundtrip_rule_dense(benchmark, rule_dense, tmp_path):
+    """NPZ save + load of families, order core and a ~50k-rule basis.
+
+    Times one full persist/rehydrate cycle of the artifact store on the
+    rule-dense workload — the mine-once/serve-many path.  Not gated (disk
+    I/O dominates and varies by runner); tracked in the trajectory
+    artifact.
+    """
+    from repro.store import load_run, save_run
+
+    closed, generators, lattice = rule_dense
+    luxenburger = LuxenburgerBasis(
+        closed, minconf=0.0, transitive_reduction=False, lattice=lattice
+    )
+    arrays = luxenburger.rules.to_arrays()
+    path = tmp_path / "bench.npz"
+
+    def roundtrip() -> int:
+        save_run(
+            path,
+            closed=closed,
+            generators=generators,
+            lattice=lattice,
+            rule_arrays={"luxenburger": arrays},
+        )
+        return len(load_run(path).rule_arrays["luxenburger"])
+
+    total = benchmark(roundtrip)
+    assert total == len(arrays)
+
+
 def test_closure_computation(benchmark, mushroom):
     items = mushroom.items[:3]
     result = benchmark(lambda: mushroom.closure_and_support(items))

@@ -14,9 +14,11 @@ Usage::
 Each side accepts one path or a comma-separated list of paths; with
 several runs the *minimum* mean per benchmark is used (best-of-N), which
 damps the runner variance that made the single-run gate advisory-only.
-Missing files in a list are skipped; a side with no readable file means
-"nothing to gate" and exits zero, so the gate never fails just because
-the base ref predates the benchmark suite.
+Missing files in a list are skipped.  A *baseline* side with no readable
+benchmarks means "nothing to gate" and exits zero, so the gate never
+fails just because the base ref predates the benchmark suite — but a
+*current* side with no readable benchmarks exits non-zero: this change's
+own benchmark runs producing nothing is a broken suite, not a pass.
 
 Benchmarks are matched by their fully qualified name.  A benchmark whose
 best mean in *current* exceeds ``threshold`` × its best mean in
@@ -114,15 +116,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    # The current side is checked FIRST: an empty current run means this
+    # change's own benchmark suite produced nothing — crashed, collected
+    # zero benchmarks, or pointed at the wrong files — and must fail the
+    # gate whatever the baseline looks like (an environmental break
+    # usually empties both sides at once).
+    current, current_runs = load_best_means(args.current)
+    if not current:
+        print(
+            "ERROR: no readable current-run benchmarks — the benchmark "
+            "suite of this change produced no results; failing the gate "
+            "instead of silently passing it"
+        )
+        return 1
     baseline, baseline_runs = load_best_means(args.baseline)
     if not baseline:
         # No baseline (e.g. the base ref predates the benchmark suite or
         # its runs failed): nothing to compare against, not a regression.
         print("no readable baseline benchmarks; nothing to gate")
-        return 0
-    current, current_runs = load_best_means(args.current)
-    if not current:
-        print("no readable current benchmarks; nothing to gate")
         return 0
     print(
         f"comparing best-of-{current_runs} current "

@@ -75,7 +75,9 @@ from .errors import (
     InconsistentRuleError,
     InvalidItemsetError,
     InvalidParameterError,
+    MissingDependencyError,
     ReproError,
+    StoreFormatError,
 )
 
 __all__ = [
@@ -136,4 +138,6 @@ __all__ = [
     "DatasetFormatError",
     "InconsistentRuleError",
     "DerivationError",
+    "StoreFormatError",
+    "MissingDependencyError",
 ]

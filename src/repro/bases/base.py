@@ -61,6 +61,13 @@ class BasisContext:
         Order-core strategy for the shared lattice (``"auto"``,
         ``"dense"``, ``"packed"`` or ``"reference"``); see
         :class:`~repro.core.lattice.IcebergLattice`.
+    block_rows:
+        Row-block size of the streamed column assembly used by the
+        expanding bases (Luxenburger / informative).  ``None`` lets each
+        builder pick the auto size from the shared working-set budget;
+        an explicit positive integer forces that block size.  Streamed
+        and one-shot builds are byte-identical, so this is purely a
+        peak-memory knob.
     """
 
     closed: ClosedItemsetFamily
@@ -71,6 +78,7 @@ class BasisContext:
         default=None, repr=False, compare=False
     )
     lattice_strategy: str = "auto"
+    block_rows: int | None = None
     _lattice: IcebergLattice | None = field(
         default=None, repr=False, compare=False
     )

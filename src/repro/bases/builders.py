@@ -125,6 +125,7 @@ class LuxenburgerFullBasis:
             minconf=context.minconf,
             transitive_reduction=False,
             lattice=context.lattice,
+            block_rows=context.block_rows,
         )
         return BuiltBasis(
             name=self.name,
@@ -149,6 +150,7 @@ class LuxenburgerReducedBasis:
             minconf=context.minconf,
             transitive_reduction=True,
             lattice=context.lattice,
+            block_rows=context.block_rows,
         )
         return BuiltBasis(
             name=self.name,
@@ -192,6 +194,7 @@ class InformativeFullBasis:
             minconf=context.minconf,
             reduced=False,
             lattice=context.lattice,
+            block_rows=context.block_rows,
         )
         return BuiltBasis(
             name=self.name,
@@ -216,6 +219,7 @@ class InformativeReducedBasis:
             minconf=context.minconf,
             reduced=True,
             lattice=context.lattice,
+            block_rows=context.block_rows,
         )
         return BuiltBasis(
             name=self.name,

@@ -140,6 +140,17 @@ class BitMatrix:
         """An independent copy (the words array is duplicated)."""
         return BitMatrix(self.words.copy(), self.n_cols)
 
+    def equals(self, other: "BitMatrix") -> bool:
+        """Exact equality: same logical shape and same packed words.
+
+        Because the padding bits past ``n_cols`` are a zero invariant,
+        word equality is cell equality — this is the check the store
+        round-trip tests rely on.
+        """
+        return self.shape == other.shape and bool(
+            np.array_equal(self.words, other.words)
+        )
+
     # ------------------------------------------------------------------
     # Shape and scalar access
     # ------------------------------------------------------------------

@@ -33,7 +33,12 @@ from .bitmatrix import BitMatrix
 from .constants import EPSILON
 from .generators import GeneratorFamily
 from .lattice import IcebergLattice
-from .rulearrays import RuleArrays, pack_itemsets_into, relative_supports
+from .rulearrays import (
+    RuleArrays,
+    pack_itemsets_into,
+    relative_supports,
+    resolve_block_rows,
+)
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["GenericBasis", "InformativeBasis"]
@@ -142,6 +147,13 @@ class InformativeBasis:
         Order-core strategy used when the basis builds its own lattice
         (ignored when ``lattice`` is given); see
         :class:`~repro.core.lattice.IcebergLattice`.
+    block_rows:
+        Row-block size of the streamed CSR expansion.  ``None`` (the
+        default) sizes the blocks from the shared working-set budget so
+        peak *mask* memory beyond the finished columns stays constant
+        however many rules the basis holds; any positive integer forces
+        that block size.  The streamed build is byte-identical to the
+        kept one-shot path (:meth:`_build_arrays_materialized`).
     """
 
     def __init__(
@@ -151,6 +163,7 @@ class InformativeBasis:
         reduced: bool = True,
         lattice: IcebergLattice | None = None,
         lattice_strategy: str = "auto",
+        block_rows: int | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -162,6 +175,7 @@ class InformativeBasis:
             )
         self._minconf = minconf
         self._reduced = reduced
+        self._block_rows = block_rows
         self._lattice = (
             lattice
             if lattice is not None
@@ -169,14 +183,18 @@ class InformativeBasis:
         )
         self._rules = RuleSet.from_arrays(self._build_arrays())
 
-    def _build_arrays(self) -> RuleArrays:
-        """Expand (generator, closed-pair) combinations as column gathers.
+    def _expansion_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, "BitMatrix", np.ndarray, np.ndarray, np.ndarray]:
+        """The CSR shape of the (generator × closed-pair) expansion.
 
-        The surviving pairs are grouped by their smaller member (CSR
-        offsets over the row-major pair arrays); each generator row is
-        then repeated once per pair of its closure and the target masks
-        gathered in one shot — the full basis costs a handful of numpy
-        passes however many rules it holds.
+        Returns ``(cols, confidences, gen_matrix, closure_index, repeats,
+        offsets)``: the confidence-filtered pair arrays grouped by their
+        smaller member, the packed generator rows, each generator's
+        closure position, how many pairs each generator expands into and
+        the CSR offsets of each closure's contiguous pair slice.  Shared
+        by the streamed and the one-shot assembly so both expand exactly
+        the same row sequence.
         """
         lattice = self._lattice
         universe = lattice.item_universe
@@ -186,7 +204,6 @@ class InformativeBasis:
         n_members = len(lattice.members)
         row_counts = np.bincount(rows, minlength=n_members)
         offsets = np.concatenate(([0], np.cumsum(row_counts)))
-
         gen_matrix, closures, _ = self._generators.packed_masks(universe)
         closure_index = np.array(
             [lattice.member_index(closed) for closed in closures], dtype=np.int64
@@ -195,8 +212,97 @@ class InformativeBasis:
             repeats = row_counts[closure_index]
         else:
             repeats = np.zeros(0, dtype=np.int64)
+        return cols, confidences, gen_matrix, closure_index, repeats, offsets
+
+    def _build_arrays(self) -> RuleArrays:
+        """Expand (generator, closed-pair) combinations in bounded blocks.
+
+        The expansion is addressed as one flat row space of
+        ``repeats.sum()`` rules; each block of ``block_rows`` consecutive
+        rows recovers its generator via a ``searchsorted`` over the
+        expansion boundaries, gathers its antecedent/target masks, and is
+        written straight into the preallocated output columns — beyond
+        the finished columns only one block of mask temporaries (and
+        ``O(pairs)`` index arrays) is ever live.
+        """
+        lattice = self._lattice
+        universe = lattice.item_universe
+        cols, confidences, gen_matrix, closure_index, repeats, offsets = (
+            self._expansion_arrays()
+        )
         total = int(repeats.sum())
-        generator_rows = np.repeat(np.arange(len(closures)), repeats)
+        block = resolve_block_rows(self._block_rows, lattice.member_masks().shape[1])
+        return RuleArrays.from_blocks(
+            self._iter_array_blocks(
+                cols,
+                confidences,
+                gen_matrix,
+                closure_index,
+                repeats,
+                offsets,
+                total,
+                block,
+            ),
+            universe,
+            n_rows=total,
+        )
+
+    def _iter_array_blocks(
+        self,
+        cols: np.ndarray,
+        confidences: np.ndarray,
+        gen_matrix: "BitMatrix",
+        closure_index: np.ndarray,
+        repeats: np.ndarray,
+        offsets: np.ndarray,
+        total: int,
+        block_rows: int,
+    ):
+        """Yield the expanded basis columns as bounded ``RuleArrays`` blocks."""
+        lattice = self._lattice
+        universe = lattice.item_universe
+        masks = lattice.member_masks()
+        counts = lattice.support_counts()
+        n_objects = self._closed.n_objects
+        boundaries = np.cumsum(repeats)
+        starts = boundaries - repeats
+        for lo in range(0, total, block_rows):
+            hi = min(lo + block_rows, total)
+            flat = np.arange(lo, hi)
+            generator_rows = np.searchsorted(boundaries, flat, side="right")
+            within = flat - starts[generator_rows]
+            pair_positions = offsets[closure_index[generator_rows]] + within
+            targets = cols[pair_positions]
+            antecedents = gen_matrix.words[generator_rows]
+            consequents = masks[targets] & ~antecedents
+            support_counts = counts[targets]
+            arrays = RuleArrays(
+                BitMatrix(antecedents, len(universe)),
+                BitMatrix(consequents, len(universe)),
+                universe,
+                relative_supports(support_counts, n_objects),
+                confidences[pair_positions],
+                support_counts,
+            )
+            # target ⊃ closure ⊇ generator makes an empty consequent
+            # impossible for well-formed input; the guard mirrors the
+            # object pipeline's defence against malformed families.
+            keep = np.any(consequents != 0, axis=1)
+            yield arrays if bool(keep.all()) else arrays.select(keep)
+
+    def _build_arrays_materialized(self) -> RuleArrays:
+        """The pre-streaming one-shot CSR expansion (oracle for tests).
+
+        Materialises every expanded row in one gather; kept so the
+        equivalence tests can assert the streamed build byte-identical.
+        """
+        lattice = self._lattice
+        universe = lattice.item_universe
+        cols, confidences, gen_matrix, closure_index, repeats, offsets = (
+            self._expansion_arrays()
+        )
+        total = int(repeats.sum())
+        generator_rows = np.repeat(np.arange(len(closure_index)), repeats)
         # Per-expanded-row position into the pair arrays: each generator
         # walks its closure's contiguous pair slice from the start.
         within = np.arange(total) - np.repeat(np.cumsum(repeats) - repeats, repeats)

@@ -44,10 +44,11 @@ from collections.abc import Iterator
 import networkx as nx
 import numpy as np
 
+from ..errors import InvalidParameterError
 from .constants import EPSILON
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
-from .order import build_order_core, pack_itemset_masks, resolve_strategy
+from .order import OrderCore, build_order_core, pack_itemset_masks, resolve_strategy
 
 __all__ = ["IcebergLattice", "hasse_edges_reference"]
 
@@ -105,6 +106,14 @@ class IcebergLattice:
         threshold, packed above, overridable via the
         ``REPRO_LATTICE_STRATEGY`` environment variable), ``"dense"``,
         ``"packed"`` or ``"reference"``.
+    order_core:
+        A prebuilt :class:`~repro.core.order.OrderCore` over the family's
+        canonical member order.  When given, the (expensive) containment
+        and transitive-reduction passes are skipped entirely and
+        *strategy* is ignored — this is how :mod:`repro.store` rehydrates
+        a persisted lattice.  The core must have been built for exactly
+        this family's members in canonical order (``closed.itemsets()``);
+        a node-count mismatch raises.
 
     Examples
     --------
@@ -118,7 +127,12 @@ class IcebergLattice:
     5
     """
 
-    def __init__(self, closed: ClosedItemsetFamily, strategy: str = "auto") -> None:
+    def __init__(
+        self,
+        closed: ClosedItemsetFamily,
+        strategy: str = "auto",
+        order_core: "OrderCore | None" = None,
+    ) -> None:
         self._closed = closed
         members = closed.itemsets()
         self._members: list[Itemset] = members
@@ -135,15 +149,28 @@ class IcebergLattice:
         self._masks = masks
         self._masks.setflags(write=False)
         self._universe: tuple = tuple(universe)
-        self._strategy = resolve_strategy(len(members), strategy)
-        reference_edges = None
-        if self._strategy == "reference":
-            edges = hasse_edges_reference(closed)
-            reference_edges = (
-                np.array([self._index[smaller] for smaller, _ in edges], dtype=np.int64),
-                np.array([self._index[larger] for _, larger in edges], dtype=np.int64),
-            )
-        self._core = build_order_core(masks, self._strategy, reference_edges)
+        if order_core is not None:
+            if order_core.n != len(members):
+                raise InvalidParameterError(
+                    f"prebuilt order core covers {order_core.n} members, "
+                    f"family has {len(members)}"
+                )
+            self._strategy = order_core.strategy
+            self._core = order_core
+        else:
+            self._strategy = resolve_strategy(len(members), strategy)
+            reference_edges = None
+            if self._strategy == "reference":
+                edges = hasse_edges_reference(closed)
+                reference_edges = (
+                    np.array(
+                        [self._index[smaller] for smaller, _ in edges], dtype=np.int64
+                    ),
+                    np.array(
+                        [self._index[larger] for _, larger in edges], dtype=np.int64
+                    ),
+                )
+            self._core = build_order_core(masks, self._strategy, reference_edges)
         self._hasse_rows, self._hasse_cols = self._core.hasse_indices()
         # The index/support arrays are handed out to the basis
         # constructions; freeze them so a consumer cannot corrupt the
@@ -164,6 +191,11 @@ class IcebergLattice:
     def strategy(self) -> str:
         """The resolved order-core strategy (``dense``/``packed``/``reference``)."""
         return self._strategy
+
+    @property
+    def order_core(self) -> OrderCore:
+        """The underlying order core (what :mod:`repro.store` persists)."""
+        return self._core
 
     @property
     def members(self) -> list[Itemset]:

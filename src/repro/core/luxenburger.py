@@ -29,12 +29,14 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 from .bitmatrix import BitMatrix
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
 from .lattice import IcebergLattice
-from .rulearrays import RuleArrays, relative_supports
+from .rulearrays import RuleArrays, relative_supports, resolve_block_rows
 from .rules import AssociationRule, RuleSet
 
 __all__ = ["LuxenburgerBasis", "build_luxenburger_basis"]
@@ -65,6 +67,13 @@ class LuxenburgerBasis:
         Order-core strategy used when the basis builds its own lattice
         (ignored when ``lattice`` is given); see
         :class:`~repro.core.lattice.IcebergLattice`.
+    block_rows:
+        Row-block size of the streamed column assembly.  ``None`` (the
+        default) sizes the blocks from the shared working-set budget so
+        peak *mask* memory beyond the finished columns stays constant
+        however many rules the basis holds; any positive integer forces
+        that block size.  The streamed build is byte-identical to the
+        kept one-shot path (:meth:`_build_arrays_materialized`).
     """
 
     def __init__(
@@ -74,6 +83,7 @@ class LuxenburgerBasis:
         transitive_reduction: bool = True,
         lattice: IcebergLattice | None = None,
         lattice_strategy: str = "auto",
+        block_rows: int | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -84,6 +94,7 @@ class LuxenburgerBasis:
         self._closed = closed
         self._minconf = minconf
         self._reduced = transitive_reduction
+        self._block_rows = block_rows
         self._lattice = (
             lattice
             if lattice is not None
@@ -95,12 +106,59 @@ class LuxenburgerBasis:
     # Construction
     # ------------------------------------------------------------------
     def _build_arrays(self) -> RuleArrays:
-        """Assemble the basis as columns, straight from the lattice arrays.
+        """Assemble the basis as columns, streamed in bounded row blocks.
 
-        Antecedent rows are the smaller members' packed masks, consequent
-        rows the AND-NOT of the larger and smaller masks — the whole
-        basis is a handful of fancy-indexing gathers, with no per-rule
-        Python work at all.
+        The surviving ``(smaller, larger)`` pairs are expanded in blocks
+        of ``block_rows`` rules: each block gathers its antecedent rows
+        from the lattice's packed member masks, AND-NOTs the larger
+        members' masks into consequents, and is written straight into the
+        preallocated output columns — beyond the finished columns only
+        one block of mask temporaries is ever live.
+        """
+        lattice = self._lattice
+        universe = lattice.item_universe
+        rows, cols, confidences = lattice.confidence_window_pairs(
+            self._minconf, reduced=self._reduced
+        )
+        block = resolve_block_rows(self._block_rows, lattice.member_masks().shape[1])
+        return RuleArrays.from_blocks(
+            self._iter_array_blocks(rows, cols, confidences, block),
+            universe,
+            n_rows=len(rows),
+        )
+
+    def _iter_array_blocks(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        confidences: np.ndarray,
+        block_rows: int,
+    ):
+        """Yield the basis columns as bounded ``RuleArrays`` row blocks."""
+        lattice = self._lattice
+        masks = lattice.member_masks()
+        universe = lattice.item_universe
+        counts = lattice.support_counts()
+        n_objects = self._closed.n_objects
+        for start in range(0, len(rows), block_rows):
+            sl = slice(start, start + block_rows)
+            antecedents = masks[rows[sl]]
+            consequents = masks[cols[sl]] & ~antecedents
+            larger_counts = counts[cols[sl]]
+            yield RuleArrays(
+                BitMatrix(antecedents, len(universe)),
+                BitMatrix(consequents, len(universe)),
+                universe,
+                relative_supports(larger_counts, n_objects),
+                confidences[sl].copy(),
+                larger_counts,
+            )
+
+    def _build_arrays_materialized(self) -> RuleArrays:
+        """The pre-streaming one-shot column assembly (oracle for tests).
+
+        Gathers every antecedent/consequent row in one shot; kept so the
+        equivalence tests can assert the streamed build byte-identical.
         """
         lattice = self._lattice
         rows, cols, confidences = lattice.confidence_window_pairs(
@@ -228,6 +286,7 @@ def build_luxenburger_basis(
     transitive_reduction: bool = True,
     lattice: IcebergLattice | None = None,
     lattice_strategy: str = "auto",
+    block_rows: int | None = None,
 ) -> LuxenburgerBasis:
     """Build the Luxenburger basis (reduced by default) of a closed family."""
     return LuxenburgerBasis(
@@ -236,4 +295,5 @@ def build_luxenburger_basis(
         transitive_reduction=transitive_reduction,
         lattice=lattice,
         lattice_strategy=lattice_strategy,
+        block_rows=block_rows,
     )

@@ -44,7 +44,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from .bitmatrix import _BLOCK_CELLS as _PACKED_BLOCK_CELLS
-from .bitmatrix import packed_containment, packed_hasse_reduction
+from .bitmatrix import BitMatrix, packed_containment, packed_hasse_reduction
 from .itemset import Itemset, _sort_key
 
 __all__ = [
@@ -280,6 +280,17 @@ class OrderCore:
         """Every comparable pair as ``(smaller, larger)`` index arrays."""
         raise NotImplementedError
 
+    def packed_containment_matrix(self):
+        """The strict-containment relation as a packed :class:`BitMatrix`.
+
+        The representation-independent export format of the order core
+        (what :mod:`repro.store` persists): ``n**2 / 8`` bytes whatever
+        strategy built the core.  The packed core hands out its retained
+        matrix; the dense core packs its bool matrix; the reference core
+        recomputes containment from the member masks.
+        """
+        raise NotImplementedError
+
 
 class DenseOrderCore(OrderCore):
     """Order core over one dense ``n x n`` bool containment matrix.
@@ -308,6 +319,9 @@ class DenseOrderCore(OrderCore):
     def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
         return np.nonzero(self._proper)
 
+    def packed_containment_matrix(self) -> BitMatrix:
+        return BitMatrix.from_dense(self._proper)
+
 
 class PackedOrderCore(OrderCore):
     """Order core over a bit-packed containment matrix.
@@ -329,6 +343,32 @@ class PackedOrderCore(OrderCore):
         super().__init__(rows, cols, self._proper.n_rows)
         self._proper.words.setflags(write=False)
 
+    @classmethod
+    def from_parts(
+        cls,
+        proper: BitMatrix,
+        hasse_rows: np.ndarray,
+        hasse_cols: np.ndarray,
+    ) -> "PackedOrderCore":
+        """Rehydrate a packed core from already computed parts.
+
+        The load path of :mod:`repro.store`: the stored packed
+        containment words and Hasse edge index arrays are adopted as-is,
+        skipping both construction passes (the whole point of persisting
+        a mined lattice).  *proper* must be square and the edges must
+        index into it; deeper consistency (that the edges really are the
+        transitive reduction of *proper*) is the saver's contract.
+        """
+        if proper.n_cols != proper.n_rows:
+            raise InvalidParameterError(
+                f"containment relation must be square, got {proper.shape}"
+            )
+        core = cls.__new__(cls)
+        core._proper = proper
+        OrderCore.__init__(core, hasse_rows, hasse_cols, proper.n_rows)
+        core._proper.words.setflags(write=False)
+        return core
+
     def is_ancestor(self, smaller: int, larger: int) -> bool:
         return self._proper.get(smaller, larger)
 
@@ -337,6 +377,9 @@ class PackedOrderCore(OrderCore):
 
     def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
         return self._proper.nonzero()
+
+    def packed_containment_matrix(self) -> BitMatrix:
+        return self._proper
 
 
 class ReferenceOrderCore(OrderCore):
@@ -382,6 +425,9 @@ class ReferenceOrderCore(OrderCore):
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty.copy()
         return np.concatenate(rows_parts), np.concatenate(cols_parts)
+
+    def packed_containment_matrix(self) -> BitMatrix:
+        return packed_containment(self._masks)
 
 
 def build_order_core(

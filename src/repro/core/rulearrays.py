@@ -38,7 +38,7 @@ from collections.abc import Iterable, Iterator, Sequence
 import numpy as np
 
 from ..errors import InvalidParameterError
-from .bitmatrix import _BLOCK_CELLS, BitMatrix, _pack_rows
+from .bitmatrix import _BLOCK_CELLS, BitMatrix, _pack_rows, _words_for
 from .constants import EPSILON
 from .itemset import Item, Itemset, _sort_key
 
@@ -48,8 +48,30 @@ __all__ = [
     "pack_itemset_words",
     "mask_to_itemset",
     "relative_supports",
+    "resolve_block_rows",
     "sorted_universe",
 ]
+
+
+def resolve_block_rows(block_rows: int | None, n_words: int) -> int:
+    """The row-block size of a streamed rule expansion.
+
+    ``None`` (the "auto" default of the streaming builders) sizes the
+    block from the shared working-set budget of
+    :mod:`repro.core.bitmatrix`: one block of packed antecedent +
+    consequent rows stays around ``_BLOCK_CELLS`` bits however many
+    rules the expansion produces, which is what keeps the peak *mask*
+    memory of a 10⁷-rule build constant instead of output-sized.
+    Explicit values pass through (floored at one row).
+    """
+    if block_rows is None:
+        return max(1, _BLOCK_CELLS // max(64, n_words * 64))
+    block_rows = int(block_rows)
+    if block_rows < 1:
+        raise InvalidParameterError(
+            f"block_rows must be a positive row count, got {block_rows}"
+        )
+    return block_rows
 
 
 def sorted_universe(items: Iterable[Item]) -> tuple[Item, ...]:
@@ -101,6 +123,11 @@ def relative_supports(counts: np.ndarray, n_objects: int) -> np.ndarray:
     if n_objects:
         return counts.astype(np.float64) / n_objects
     return np.zeros(len(counts), dtype=np.float64)
+
+
+def _words_for_universe(universe: Sequence[Item]) -> int:
+    """Packed uint64 words per mask row over *universe*."""
+    return _words_for(len(universe))
 
 
 def pack_itemsets_into(
@@ -289,6 +316,92 @@ class RuleArrays:
         )
         return cls(antecedents, consequents, universe, support, confidence, counts)
 
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks: Iterable["RuleArrays"],
+        universe: Sequence[Item],
+        n_rows: int | None = None,
+    ) -> "RuleArrays":
+        """Assemble one collection from an iterator of row-block collections.
+
+        The chunk-consuming counterpart of :meth:`iter_blocks`, and the
+        assembly step of the streamed basis builders: every block must be
+        packed over *universe* (the builders guarantee it; a mismatched
+        block raises), and blocks are written in iteration order.
+
+        ``n_rows``, when given, is a row-count *capacity*: the output
+        columns are preallocated once and each block is copied straight
+        into its slice, so beyond the finished output only one block is
+        ever live — the bounded-memory path.  Blocks may undershoot the
+        capacity (a streamed builder that filters rows per block); the
+        surplus is trimmed at the end.  Without ``n_rows`` the blocks are
+        collected and concatenated once.
+        """
+        universe = tuple(universe)
+        if n_rows is None:
+            collected = list(blocks)
+            for block in collected:
+                if block.universe != universe:
+                    raise InvalidParameterError(
+                        "blocks are packed over a different universe than the target"
+                    )
+            if not collected:
+                return cls.empty(universe)
+            return cls(
+                BitMatrix(
+                    np.concatenate([b.antecedents.words for b in collected]),
+                    len(universe),
+                ),
+                BitMatrix(
+                    np.concatenate([b.consequents.words for b in collected]),
+                    len(universe),
+                ),
+                universe,
+                np.concatenate([b.support for b in collected]),
+                np.concatenate([b.confidence for b in collected]),
+                np.concatenate([b.support_count for b in collected]),
+            )
+        n_words = _words_for_universe(universe)
+        antecedents = np.zeros((n_rows, n_words), dtype=np.uint64)
+        consequents = np.zeros((n_rows, n_words), dtype=np.uint64)
+        support = np.zeros(n_rows, dtype=np.float64)
+        confidence = np.zeros(n_rows, dtype=np.float64)
+        support_count = np.full(n_rows, -1, dtype=np.int64)
+        filled = 0
+        for block in blocks:
+            if block.universe != universe:
+                raise InvalidParameterError(
+                    "blocks are packed over a different universe than the target"
+                )
+            stop = filled + len(block)
+            if stop > n_rows:
+                raise InvalidParameterError(
+                    f"blocks hold more than the declared capacity of {n_rows} rows"
+                )
+            antecedents[filled:stop] = block.antecedents.words
+            consequents[filled:stop] = block.consequents.words
+            support[filled:stop] = block.support
+            confidence[filled:stop] = block.confidence
+            support_count[filled:stop] = block.support_count
+            filled = stop
+        if filled < n_rows:
+            # Copy the filled prefix so the trimmed rows do not keep the
+            # full-capacity buffers alive through a view.
+            antecedents = antecedents[:filled].copy()
+            consequents = consequents[:filled].copy()
+            support = support[:filled].copy()
+            confidence = confidence[:filled].copy()
+            support_count = support_count[:filled].copy()
+        return cls(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            support,
+            confidence,
+            support_count,
+        )
+
     # ------------------------------------------------------------------
     # Shape
     # ------------------------------------------------------------------
@@ -327,6 +440,28 @@ class RuleArrays:
     def select(self, mask: np.ndarray) -> "RuleArrays":
         """The rows where the boolean *mask* is true, order preserved."""
         return self.take(np.nonzero(np.asarray(mask, dtype=bool))[0])
+
+    def iter_blocks(self, block_rows: int | None = None) -> Iterator["RuleArrays"]:
+        """Yield the collection as contiguous row blocks, in row order.
+
+        The chunk-producing counterpart of :meth:`from_blocks`, used by
+        consumers that stream a large collection out of process (the
+        on-disk store, the Arrow export) without ever slicing it into
+        per-rule objects.  Each block is a plain slice of the columns —
+        zero-copy for the numpy stat columns.  ``block_rows=None`` picks
+        the shared auto size (see :func:`resolve_block_rows`).
+        """
+        block_rows = resolve_block_rows(block_rows, self.antecedents.n_words)
+        for start in range(0, len(self), block_rows):
+            stop = min(start + block_rows, len(self))
+            yield RuleArrays(
+                BitMatrix(self.antecedents.words[start:stop], self.antecedents.n_cols),
+                BitMatrix(self.consequents.words[start:stop], self.consequents.n_cols),
+                self.universe,
+                self.support[start:stop],
+                self.confidence[start:stop],
+                self.support_count[start:stop],
+            )
 
     # ------------------------------------------------------------------
     # Vectorised filters (same EPSILON semantics as RuleSet)
@@ -421,38 +556,45 @@ class RuleArrays:
         return self.universe == other.universe
 
     def project_to(self, universe: Sequence[Item]) -> "RuleArrays":
-        """Re-pack the masks over a different (super-)universe.
+        """Re-pack the masks over a different universe.
 
-        Every item of the current universe must appear in the target one;
-        column bits are permuted accordingly (blocked unpack/scatter/
-        repack, bounded temporaries).
+        Column bits are permuted to the target's positions (blocked
+        unpack/scatter/repack, bounded temporaries).  Items of the
+        current universe missing from the target are allowed only when
+        no rule uses them — their (all-zero) columns are dropped, which
+        is what makes ``project_to`` round-trip through a padded
+        universe; a set bit without a target position raises.
         """
         universe = tuple(universe)
         if universe == self.universe:
             return self
         index = {item: position for position, item in enumerate(universe)}
-        try:
-            mapping = np.array(
-                [index[item] for item in self.universe], dtype=np.intp
-            )
-        except KeyError as exc:
-            raise InvalidParameterError(
-                f"target universe is missing item {exc.args[0]!r}"
-            ) from None
+        mapping = np.array(
+            [index.get(item, -1) for item in self.universe], dtype=np.intp
+        )
+        kept = mapping >= 0
+        dropped = np.nonzero(~kept)[0]
 
         def remap(matrix: BitMatrix) -> BitMatrix:
             n_rows = matrix.n_rows
             out = BitMatrix.zeros(n_rows, len(universe))
             if n_rows == 0 or matrix.n_cols == 0:
                 return out
-            block = max(1, _BLOCK_CELLS // max(1, len(universe)))
+            block = max(1, _BLOCK_CELLS // max(1, max(len(universe), matrix.n_cols)))
             for start in range(0, n_rows, block):
                 raw = np.ascontiguousarray(matrix.words[start : start + block]).view(
                     np.uint8
                 )
                 bits = np.unpackbits(raw, axis=1, bitorder="little")
+                bits = bits[:, : matrix.n_cols].astype(bool)
+                if dropped.size and bits[:, dropped].any():
+                    used = dropped[bits[:, dropped].any(axis=0)][0]
+                    raise InvalidParameterError(
+                        f"target universe is missing item "
+                        f"{self.universe[int(used)]!r}, which rules still use"
+                    )
                 scattered = np.zeros((bits.shape[0], len(universe)), dtype=bool)
-                scattered[:, mapping] = bits[:, : matrix.n_cols].astype(bool)
+                scattered[:, mapping[kept]] = bits[:, kept]
                 out.words[start : start + bits.shape[0]] = BitMatrix.from_dense(
                     scattered
                 ).words

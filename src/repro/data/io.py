@@ -12,6 +12,15 @@ Two plain-text formats cover everything the experiments need:
 
 Both loaders return a :class:`~repro.data.context.TransactionDatabase`;
 both writers round-trip with their loader (verified by tests).
+
+For binary persistence there is a third pair,
+:func:`save_database_store` / :func:`load_database_store`: the context
+section of the versioned :mod:`repro.store` NPZ container (CSR relation
+plus the item universe as native arrays).  Unlike the text formats it
+preserves the exact item order and loads without re-parsing text; it is
+the same container format ``repro save`` writes, so one loader serves
+both dataset-only and full-run stores.  (Containers are written whole —
+there is no in-place append; re-save to add mined sections.)
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ __all__ = [
     "save_basket_file",
     "load_tabular_file",
     "save_tabular_file",
+    "save_database_store",
+    "load_database_store",
     "parse_basket_lines",
 ]
 
@@ -78,6 +89,33 @@ def save_basket_file(database: TransactionDatabase, path: str | Path) -> None:
         for transaction in database:
             handle.write(" ".join(str(item) for item in transaction))
             handle.write("\n")
+
+
+def save_database_store(database: TransactionDatabase, path: str | Path) -> Path:
+    """Write *database* as the context section of a store container.
+
+    The binary companion of :func:`save_basket_file`: the relation goes
+    out as CSR arrays with the item universe in its exact column order,
+    inside the same versioned NPZ format ``repro save`` produces (so a
+    dataset-only store is a valid artifact-store container; containers
+    are always written whole, never appended to in place).
+    """
+    from ..store import save_run
+
+    return save_run(path, database=database)
+
+
+def load_database_store(path: str | Path) -> TransactionDatabase:
+    """Load the context section of a store container written by any saver.
+
+    Accepts both dataset-only stores (:func:`save_database_store`) and
+    full run stores (``repro save``); raises
+    :class:`~repro.errors.StoreFormatError` when the container has no
+    context section.
+    """
+    from ..store import load_run
+
+    return load_run(path, sections=("context",)).require("context")
 
 
 def load_tabular_file(

@@ -49,3 +49,20 @@ class DerivationError(ReproError, RuntimeError):
 
 class NotMinedError(ReproError, RuntimeError):
     """A result was requested from an algorithm that has not been run yet."""
+
+
+class StoreFormatError(ReproError, ValueError):
+    """An on-disk artifact store cannot be read.
+
+    Raised by :mod:`repro.store` for files that are not repro stores,
+    carry an unsupported format version, or miss a section the caller
+    asked for.
+    """
+
+
+class MissingDependencyError(ReproError, ImportError):
+    """An optional dependency needed for the requested feature is absent.
+
+    Raised by the Arrow/Parquet export of :mod:`repro.store` when
+    ``pyarrow`` is not installed; the core NPZ store never needs it.
+    """

@@ -12,7 +12,15 @@ The CLI gives quick terminal access to the things users do most:
 * ``repro experiment T3`` — regenerate one of the paper tables
   (T1–T6, F1–F3, A1–A2) on the benchmark-scale datasets; T6 is the
   columnar per-basis statistics table added with the array-native rule
-  layer.
+  layer;
+* ``repro save --dataset <file> --out run.npz`` — mine once and persist
+  the context, families, packed lattice order core and rule columns to
+  a versioned NPZ artifact store;
+* ``repro bases --from-store run.npz`` — warm-start the bases from a
+  store instead of re-mining (byte-identical output);
+* ``repro load run.npz`` — summarize a store's manifest and sections;
+* ``repro export run.npz --basis dg --out dg.parquet`` — export a
+  stored basis's rule columns as Parquet/Arrow (needs ``pyarrow``).
 """
 
 from __future__ import annotations
@@ -27,9 +35,15 @@ from ..bases import DEFAULT_BASES, available_bases, get_basis, resolve_basis_nam
 from ..core.order import STRATEGIES
 from ..data.io import load_basket_file
 from ..engine import ENGINES
+from ..errors import InvalidParameterError, ReproError
 from . import tables
 from .config import all_specs, smoke_specs
-from .harness import build_rule_artifacts, mine_itemsets
+from .harness import (
+    build_rule_artifacts,
+    build_rule_artifacts_from_store,
+    mine_itemsets,
+    save_artifacts,
+)
 from .report import render_text_table
 
 __all__ = ["main", "build_parser"]
@@ -81,11 +95,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     bases = subparsers.add_parser(
-        "bases", help="mine a basket file and print the rule bases"
+        "bases", help="mine a basket file (or load a store) and print the rule bases"
     )
-    bases.add_argument("--dataset", required=True, help="path to a basket-format file")
+    bases.add_argument(
+        "--dataset",
+        default=None,
+        help="path to a basket-format file (or use --from-store)",
+    )
+    bases.add_argument(
+        "--from-store",
+        default=None,
+        metavar="PATH",
+        help="warm-start from a `repro save` artifact store instead of mining "
+        "(the stored minsup applies; --minconf still selects the threshold)",
+    )
     bases.add_argument("--minsup", type=float, default=0.1, help="relative minsup")
-    bases.add_argument("--minconf", type=float, default=0.7, help="relative minconf")
+    bases.add_argument(
+        "--minconf",
+        type=float,
+        default=None,
+        help="relative minconf (default: 0.7 when mining; the stored "
+        "threshold with --from-store)",
+    )
     bases.add_argument(
         "--limit", type=int, default=30, help="print at most this many rules per basis"
     )
@@ -110,9 +141,77 @@ def build_parser() -> argparse.ArgumentParser:
         "~10k closed itemsets and bit-packed above; reference is the "
         "per-pair oracle builder (default: auto)",
     )
+    bases.add_argument(
+        "--block-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="row-block size of the streamed rule-column assembly "
+        "(default: auto-sized from the working-set budget; purely a "
+        "peak-memory knob, output is identical)",
+    )
 
     subparsers.add_parser(
         "list-bases", help="list the registered rule bases and their descriptions"
+    )
+
+    save = subparsers.add_parser(
+        "save",
+        help="mine a basket file and persist context, families, lattice "
+        "order core and rule columns to an NPZ artifact store",
+    )
+    save.add_argument("--dataset", required=True, help="path to a basket-format file")
+    save.add_argument("--out", required=True, help="path of the .npz store to write")
+    save.add_argument("--minsup", type=float, default=0.1, help="relative minsup")
+    save.add_argument("--minconf", type=float, default=0.7, help="relative minconf")
+    save.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="closure engine backend (default: per-miner default)",
+    )
+    save.add_argument(
+        "--bases",
+        default=None,
+        metavar="NAME,NAME",
+        help="comma-separated registered bases whose rule columns to store "
+        f"(default: {','.join(DEFAULT_BASES)})",
+    )
+    save.add_argument(
+        "--lattice-strategy",
+        choices=list(STRATEGIES),
+        default="auto",
+        help="order core of the stored lattice (default: auto)",
+    )
+    save.add_argument(
+        "--no-context",
+        action="store_true",
+        help="omit the raw transaction context from the store",
+    )
+
+    load = subparsers.add_parser(
+        "load", help="summarize an artifact store's manifest and sections"
+    )
+    load.add_argument("store", help="path of a `repro save` .npz container")
+
+    export = subparsers.add_parser(
+        "export",
+        help="export a stored basis's rule columns as Parquet/Arrow "
+        "(requires the optional pyarrow package)",
+    )
+    export.add_argument("store", help="path of a `repro save` .npz container")
+    export.add_argument("--out", required=True, help="output file path")
+    export.add_argument(
+        "--basis",
+        default=None,
+        help="stored basis to export (default: the only stored basis; "
+        "required when several are stored)",
+    )
+    export.add_argument(
+        "--format",
+        choices=["parquet", "feather"],
+        default=None,
+        help="output format (default: inferred from the --out suffix)",
     )
 
     experiment = subparsers.add_parser(
@@ -150,20 +249,52 @@ def _command_mine(args: argparse.Namespace) -> int:
 
 
 def _command_bases(args: argparse.Namespace) -> int:
-    database = load_basket_file(args.dataset)
-    mining = mine_itemsets(database, args.minsup, engine=args.engine)
+    if (args.dataset is None) == (args.from_store is None):
+        raise InvalidParameterError(
+            "pass exactly one of --dataset (mine) or --from-store (warm start)"
+        )
     selection = resolve_basis_names(args.bases)
-    artifacts = build_rule_artifacts(
-        mining,
-        minconf=args.minconf,
-        bases=selection,
-        lattice_strategy=args.lattice_strategy,
-    )
+    if args.from_store is not None:
+        if args.engine is not None:
+            raise InvalidParameterError(
+                "--engine has no effect with --from-store (nothing is mined); "
+                "drop it or mine with --dataset"
+            )
+        from .. import store
 
-    print(f"Dataset {database.name}: minsup={args.minsup}, minconf={args.minconf}")
+        stored = store.load_run(
+            args.from_store, sections=("frequent", "closed", "generators", "order")
+        )
+        artifacts = build_rule_artifacts_from_store(
+            stored,
+            minconf=args.minconf,
+            bases=selection,
+            lattice_strategy=args.lattice_strategy,
+            block_rows=args.block_rows,
+        )
+        dataset_name = stored.name
+        minsup = artifacts.minsup
+        n_frequent = len(stored.frequent) if stored.frequent is not None else "?"
+        n_closed = len(stored.require("closed"))
+    else:
+        database = load_basket_file(args.dataset)
+        mining = mine_itemsets(database, args.minsup, engine=args.engine)
+        artifacts = build_rule_artifacts(
+            mining,
+            minconf=args.minconf if args.minconf is not None else 0.7,
+            bases=selection,
+            lattice_strategy=args.lattice_strategy,
+            block_rows=args.block_rows,
+        )
+        dataset_name = database.name
+        minsup = args.minsup
+        n_frequent = len(mining.frequent)
+        n_closed = len(mining.closed)
+
+    print(f"Dataset {dataset_name}: minsup={minsup}, minconf={artifacts.minconf}")
     print(
-        f"  frequent itemsets: {len(mining.frequent)}, "
-        f"frequent closed itemsets: {len(mining.closed)}"
+        f"  frequent itemsets: {n_frequent}, "
+        f"frequent closed itemsets: {n_closed}"
     )
     if set(DEFAULT_BASES) <= set(selection):
         report = artifacts.report
@@ -207,6 +338,91 @@ def _command_bases(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_save(args: argparse.Namespace) -> int:
+    database = load_basket_file(args.dataset)
+    mining = mine_itemsets(database, args.minsup, engine=args.engine)
+    selection = resolve_basis_names(args.bases)
+    artifacts = build_rule_artifacts(
+        mining,
+        minconf=args.minconf,
+        bases=selection,
+        lattice_strategy=args.lattice_strategy,
+    )
+    path = save_artifacts(
+        args.out, mining, artifacts, include_context=not args.no_context
+    )
+    lattice = artifacts.context.lattice
+    print(
+        f"saved {database.name} (minsup={args.minsup}, minconf={args.minconf}) "
+        f"to {path}"
+    )
+    print(
+        f"  closed itemsets: {len(mining.closed)}, lattice edges: "
+        f"{lattice.edge_count()}, bases: {', '.join(artifacts.names)}"
+    )
+    return 0
+
+
+def _command_load(args: argparse.Namespace) -> int:
+    from .. import store
+
+    run = store.load_run(args.store)
+    manifest = run.manifest
+    print(f"{args.store}: {manifest['format']} v{manifest['version']}")
+    print(
+        f"  dataset {run.name}: minsup={run.minsup}, minconf={run.minconf}, "
+        f"sections: {', '.join(run.sections)}"
+    )
+    if run.database is not None:
+        print(
+            f"  context: {run.database.n_objects} objects x "
+            f"{run.database.n_items} items"
+        )
+    if run.frequent is not None:
+        print(f"  frequent itemsets: {len(run.frequent)}")
+    if run.closed is not None:
+        print(f"  frequent closed itemsets: {len(run.closed)}")
+    if run.generators is not None:
+        print(f"  generator closures: {len(run.generators)}")
+    if run.lattice is not None:
+        print(
+            f"  lattice: {len(run.lattice)} nodes, "
+            f"{run.lattice.edge_count()} edges "
+            f"(stored strategy: {manifest['order']['strategy']})"
+        )
+    for name, arrays in run.rule_arrays.items():
+        kind = run.basis_kinds.get(name, "?")
+        print(f"  basis {name} [{kind}]: {len(arrays)} rules")
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from .. import store
+
+    run = store.load_run(args.store, sections=("rules",))
+    if not run.rule_arrays:
+        raise InvalidParameterError(
+            f"store {args.store} holds no rule columns to export"
+        )
+    basis = args.basis
+    if basis is None:
+        if len(run.rule_arrays) > 1:
+            raise InvalidParameterError(
+                "several bases are stored; pick one with --basis "
+                f"({', '.join(run.rule_arrays)})"
+            )
+        basis = next(iter(run.rule_arrays))
+    if basis not in run.rule_arrays:
+        raise InvalidParameterError(
+            f"basis {basis!r} is not in the store; stored: "
+            f"{', '.join(run.rule_arrays)}"
+        )
+    arrays = run.rule_arrays[basis]
+    path = store.export_rule_arrays(arrays, args.out, format=args.format)
+    print(f"exported {len(arrays)} {basis} rules to {path}")
+    return 0
+
+
 def _command_list_bases(args: argparse.Namespace) -> int:
     for name, description in available_bases().items():
         kind = get_basis(name).kind
@@ -232,6 +448,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bases": _command_bases,
         "list-bases": _command_list_bases,
         "experiment": _command_experiment,
+        "save": _command_save,
+        "load": _command_load,
+        "export": _command_export,
     }
     try:
         return handlers[args.command](args)
@@ -241,6 +460,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # shutdown flush does not raise a second time.
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except ReproError as exc:
+        # Library errors (bad parameters, unreadable datasets/stores,
+        # missing optional deps) are user errors at the CLI surface:
+        # report them like argparse does, not as a traceback.
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -46,6 +46,8 @@ __all__ = [
     "RuleArtifacts",
     "mine_itemsets",
     "build_rule_artifacts",
+    "build_rule_artifacts_from_store",
+    "save_artifacts",
     "time_algorithms",
     "default_algorithms",
     "DEFAULT_BASES",
@@ -80,7 +82,10 @@ class ItemsetMiningResult:
         return GeneratorFamily(self.closed, self.generators_by_closure)
 
     def basis_context(
-        self, minconf: float, lattice_strategy: str = "auto"
+        self,
+        minconf: float,
+        lattice_strategy: str = "auto",
+        block_rows: int | None = None,
     ) -> BasisContext:
         """A :class:`BasisContext` over the mined families.
 
@@ -88,7 +93,8 @@ class ItemsetMiningResult:
         generator-backed basis never build or validate it.
         ``lattice_strategy`` forces the order core of the shared iceberg
         lattice (``auto`` picks dense below ~10k closed itemsets, packed
-        above).
+        above); ``block_rows`` forces the row-block size of the streamed
+        rule-column assembly (``None`` = auto-sized blocks).
         """
         return BasisContext(
             closed=self.closed,
@@ -96,6 +102,7 @@ class ItemsetMiningResult:
             frequent=self.frequent,
             generators_factory=lambda: self.generator_family,
             lattice_strategy=lattice_strategy,
+            block_rows=block_rows,
         )
 
 
@@ -113,6 +120,10 @@ class RuleArtifacts:
     minsup: float
     minconf: float
     bases: dict[str, BuiltBasis]
+    #: The shared build context (kept so consumers like the artifact
+    #: store can reach the single iceberg lattice the bases were built
+    #: on); ``None`` for artifacts assembled outside the harness.
+    context: BasisContext | None = field(default=None, repr=False, compare=False)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -242,6 +253,7 @@ def build_rule_artifacts(
     minconf: float,
     bases: str | tuple[str, ...] | list[str] | None = None,
     lattice_strategy: str = "auto",
+    block_rows: int | None = None,
 ) -> RuleArtifacts:
     """Build a selection of rule bases for one (dataset, minsup, minconf) cell.
 
@@ -251,14 +263,126 @@ def build_rule_artifacts(
     therefore one vectorised iceberg-lattice construction;
     ``lattice_strategy`` forces its order core (``dense``, ``packed`` or
     ``reference`` — ``auto`` switches dense → packed at ~10k closed
-    itemsets).
+    itemsets) and ``block_rows`` the row-block size of the streamed rule
+    expansion (``None`` = auto-sized blocks; purely a peak-memory knob,
+    the built rules are byte-identical either way).
     """
-    context = mining.basis_context(minconf, lattice_strategy=lattice_strategy)
+    context = mining.basis_context(
+        minconf, lattice_strategy=lattice_strategy, block_rows=block_rows
+    )
     return RuleArtifacts(
         database_name=mining.database.name,
         minsup=mining.minsup,
         minconf=minconf,
         bases=build_bases(context, bases),
+        context=context,
+    )
+
+
+def save_artifacts(
+    path,
+    mining: ItemsetMiningResult | None,
+    artifacts: RuleArtifacts | None = None,
+    include_context: bool = True,
+):
+    """Persist one harness run into a :mod:`repro.store` container.
+
+    Saves whatever the run produced: the transaction context (unless
+    ``include_context=False``), the frequent and closed families, the
+    minimal generators, the shared iceberg-lattice order core of
+    *artifacts* (built lazily if no selected basis needed one yet) and
+    every built basis's rule columns.  Returns the written path.
+    """
+    from .. import store
+
+    database = mining.database if mining is not None else None
+    generators = None
+    if mining is not None and mining.generators_by_closure:
+        generators = mining.generator_family
+    lattice = None
+    rule_arrays = {}
+    basis_kinds = {}
+    basis_metadata = {}
+    if artifacts is not None:
+        if artifacts.context is not None:
+            lattice = artifacts.context.lattice
+        rule_arrays = {
+            name: built.rule_arrays for name, built in artifacts.bases.items()
+        }
+        basis_kinds = {name: built.kind for name, built in artifacts.bases.items()}
+        basis_metadata = {
+            name: built.metadata for name, built in artifacts.bases.items()
+        }
+    return store.save_run(
+        path,
+        database=database if include_context else None,
+        frequent=mining.frequent if mining is not None else None,
+        closed=mining.closed if mining is not None else None,
+        generators=generators,
+        lattice=lattice,
+        rule_arrays=rule_arrays,
+        basis_kinds=basis_kinds,
+        basis_metadata=basis_metadata,
+        name=database.name if database is not None else None,
+        minsup=mining.minsup if mining is not None else None,
+        minconf=artifacts.minconf if artifacts is not None else None,
+    )
+
+
+def build_rule_artifacts_from_store(
+    stored,
+    minconf: float | None = None,
+    bases: str | tuple[str, ...] | list[str] | None = None,
+    lattice_strategy: str = "auto",
+    block_rows: int | None = None,
+) -> RuleArtifacts:
+    """Warm-start the basis construction from a loaded artifact store.
+
+    The stored closed/frequent/generator families and — crucially — the
+    stored lattice order core replace the mining and lattice-construction
+    steps entirely; only the (cheap, array-native) per-basis assembly
+    runs.  Built output is byte-identical to a cold run of
+    :func:`build_rule_artifacts` on the same dataset and thresholds.
+    ``minconf=None`` reuses the threshold recorded at save time.
+
+    A *forced* lattice strategy — an explicit argument other than
+    ``"auto"``, or the ``REPRO_LATTICE_STRATEGY`` environment override —
+    takes precedence over the stored order core: the lattice is rebuilt
+    with the requested strategy instead of silently serving the stored
+    one, so forcing ``reference`` for a cross-check actually runs the
+    reference builder.
+    """
+    import os
+
+    from ..core.order import STRATEGY_ENV_VAR
+
+    closed = stored.require("closed")
+    if minconf is None:
+        minconf = stored.minconf
+    if minconf is None:
+        raise InvalidParameterError(
+            "the store records no minconf; pass minconf= explicitly"
+        )
+    env_forced = os.environ.get(STRATEGY_ENV_VAR, "").strip().lower()
+    strategy_forced = lattice_strategy != "auto" or env_forced not in ("", "auto")
+    context = BasisContext(
+        closed=closed,
+        minconf=minconf,
+        frequent=stored.frequent,
+        generators=stored.generators,
+        lattice_strategy=lattice_strategy,
+        block_rows=block_rows,
+        _lattice=None if strategy_forced else stored.lattice,
+    )
+    minsup = stored.minsup
+    if minsup is None:
+        minsup = closed.minsup
+    return RuleArtifacts(
+        database_name=stored.name,
+        minsup=minsup,
+        minconf=minconf,
+        bases=build_bases(context, bases),
+        context=context,
     )
 
 

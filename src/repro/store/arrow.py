@@ -1,0 +1,131 @@
+"""Arrow / Parquet export of the columnar rule store (soft ``pyarrow``).
+
+Out-of-process consumers (notebooks, DuckDB, Spark, a serving tier) want
+the rule bases as ordinary analytical tables, not as packed uint64
+masks.  This module converts a :class:`~repro.core.rulearrays.RuleArrays`
+into a :mod:`pyarrow` table — antecedent and consequent as list columns
+of item strings, the three statistics as plain numeric columns — and
+writes it as Parquet or Arrow IPC (Feather).
+
+``pyarrow`` is a *soft* dependency: importing this module never fails,
+:func:`arrow_available` reports whether the export can run, and the
+conversion functions raise a clear
+:class:`~repro.errors.MissingDependencyError` when it cannot.  The list
+columns are assembled from the packed masks' ``nonzero`` scan (offsets +
+values, the native Arrow list layout), streamed over
+:meth:`~repro.core.rulearrays.RuleArrays.iter_blocks` so a million-rule
+export never unpacks the whole mask matrix at once.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.rulearrays import RuleArrays
+from ..errors import InvalidParameterError, MissingDependencyError
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow as _pyarrow
+except ImportError:  # pragma: no cover - the common CI environment
+    _pyarrow = None
+
+__all__ = [
+    "arrow_available",
+    "rule_arrays_to_table",
+    "export_rule_arrays",
+    "EXPORT_FORMATS",
+]
+
+#: File formats :func:`export_rule_arrays` can write.
+EXPORT_FORMATS = ("parquet", "feather")
+
+
+def arrow_available() -> bool:
+    """Whether ``pyarrow`` is importable in this environment."""
+    return _pyarrow is not None
+
+
+def _require_pyarrow():
+    if _pyarrow is None:
+        raise MissingDependencyError(
+            "the Arrow/Parquet export needs the optional 'pyarrow' package; "
+            "install it (pip install pyarrow) or use the NPZ store instead"
+        )
+    return _pyarrow
+
+
+def _list_column(pa, blocks, side: str, universe_labels: np.ndarray):
+    """One side's masks as a chunked Arrow ``list<string>`` column."""
+    chunks = []
+    for block in blocks:
+        matrix = getattr(block, side)
+        rows, cols = matrix.nonzero()
+        offsets = np.zeros(matrix.n_rows + 1, dtype=np.int32)
+        np.cumsum(np.bincount(rows, minlength=matrix.n_rows), out=offsets[1:])
+        values = pa.array(universe_labels[cols])
+        chunks.append(pa.ListArray.from_arrays(pa.array(offsets), values))
+    if not chunks:
+        return pa.array([], type=pa.list_(pa.string()))
+    return pa.chunked_array(chunks)
+
+
+def rule_arrays_to_table(
+    arrays: RuleArrays, block_rows: int | None = None
+):
+    """A :class:`RuleArrays` as a ``pyarrow.Table``.
+
+    Columns: ``antecedent`` / ``consequent`` (``list<string>`` of item
+    labels, ascending item order), ``support``, ``confidence`` (float64)
+    and ``support_count`` (int64, ``-1`` = unknown).  The masks are
+    unpacked block by block (``block_rows``; ``None`` = auto size), so
+    the peak temporary stays bounded however many rules are exported.
+    """
+    pa = _require_pyarrow()
+    labels = np.array([str(item) for item in arrays.universe])
+    blocks = list(arrays.iter_blocks(block_rows))
+    table = pa.table(
+        {
+            "antecedent": _list_column(pa, blocks, "antecedents", labels),
+            "consequent": _list_column(pa, blocks, "consequents", labels),
+            "support": pa.array(np.asarray(arrays.support)),
+            "confidence": pa.array(np.asarray(arrays.confidence)),
+            "support_count": pa.array(np.asarray(arrays.support_count)),
+        }
+    )
+    return table
+
+
+def export_rule_arrays(
+    arrays: RuleArrays,
+    path: str | Path,
+    format: str | None = None,
+    block_rows: int | None = None,
+) -> Path:
+    """Write the rule columns to *path* as Parquet or Arrow IPC.
+
+    ``format`` is ``"parquet"`` or ``"feather"``; ``None`` infers it from
+    the file suffix (``.parquet`` / ``.feather`` / ``.arrow``, defaulting
+    to Parquet).  Returns the path written.
+    """
+    _require_pyarrow()
+    path = Path(path)
+    if format is None:
+        suffix = path.suffix.lower()
+        format = "feather" if suffix in (".feather", ".arrow", ".ipc") else "parquet"
+    if format not in EXPORT_FORMATS:
+        raise InvalidParameterError(
+            f"unknown export format {format!r}; expected one of "
+            f"{', '.join(EXPORT_FORMATS)}"
+        )
+    table = rule_arrays_to_table(arrays, block_rows=block_rows)
+    if format == "parquet":
+        from pyarrow import parquet
+
+        parquet.write_table(table, path)
+    else:
+        from pyarrow import feather
+
+        feather.write_feather(table, path)
+    return path

@@ -1,0 +1,507 @@
+"""The versioned NPZ artifact store: mine once, serve many times.
+
+Everything a mining run produces — the transaction context, the frequent
+and frequent-closed families, the minimal generators, the packed lattice
+order core and the columnar rule bases — is a function of arrays this
+library already holds in packed form.  This module writes those arrays
+into one compressed ``.npz`` container (plain numpy, no pickling, no
+optional dependencies) and rehydrates them without redoing any of the
+expensive work: a loaded lattice adopts the stored containment words and
+Hasse edges through :meth:`~repro.core.order.PackedOrderCore.from_parts`
+instead of re-running the O(n²) construction passes.
+
+Container layout (flat keys, ``__``-separated)::
+
+    manifest                      uint8 row of UTF-8 JSON (format name,
+                                  version, section index, run metadata)
+    context__indptr               CSR row offsets of the relation
+    context__item_ids             item column per relation pair
+    context__items                item universe (int64 or unicode)
+    frequent__words/__counts/__universe    packed family rows + supports
+    closed__words/__counts/__universe      idem, the closed family
+    generators__words             packed generator rows (closed universe)
+    generators__closure_index     row -> canonical closed-member index
+    order__words                  packed strict-containment BitMatrix
+    order__rows / order__cols     Hasse edge index arrays
+    rules__<name>__antecedents/__consequents/__support/__confidence/
+        __support_count/__universe         one RuleArrays per basis
+
+Every section is optional except the manifest; :func:`load_run` returns
+whatever the file holds.  Items must be strings or integers — the two
+kinds every dataset loader and generator in this library produces — so
+the container never needs ``allow_pickle``.
+
+The format is versioned (:data:`FORMAT_VERSION`); readers reject files
+with a different major version loudly instead of mis-parsing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.bitmatrix import BitMatrix
+from ..core.families import ClosedItemsetFamily, ItemsetFamily
+from ..core.generators import GeneratorFamily
+from ..core.itemset import Item, Itemset
+from ..core.lattice import IcebergLattice
+from ..core.order import PackedOrderCore
+from ..core.rulearrays import RuleArrays, pack_itemsets_into, sorted_universe
+from ..data.context import TransactionDatabase
+from ..errors import InvalidParameterError, StoreFormatError
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "StoredRun",
+    "save_run",
+    "load_run",
+    "read_manifest",
+]
+
+#: Identifies the container type inside the manifest.
+FORMAT_NAME = "repro-store"
+
+#: Major format version; bumped on any incompatible layout change.
+#: Readers refuse other versions rather than guessing.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Item-universe codec
+# ----------------------------------------------------------------------
+def _encode_items(items: Sequence[Item]) -> np.ndarray:
+    """Items as a native numpy array (no pickling): unicode or int64."""
+    values = list(items)
+    if not values:
+        return np.zeros(0, dtype="<U1")
+    if all(isinstance(v, str) for v in values):
+        return np.array(values)
+    if all(
+        isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in values
+    ):
+        return np.array([int(v) for v in values], dtype=np.int64)
+    raise StoreFormatError(
+        "the artifact store holds items as strings or integers; got mixed "
+        f"or unsupported item types in {values[:5]!r}..."
+    )
+
+
+def _decode_items(array: np.ndarray) -> tuple[Item, ...]:
+    """Inverse of :func:`_encode_items`."""
+    if array.dtype.kind == "U":
+        return tuple(str(value) for value in array.tolist())
+    if array.dtype.kind in ("i", "u"):
+        return tuple(int(value) for value in array.tolist())
+    raise StoreFormatError(f"unsupported stored item dtype {array.dtype}")
+
+
+def _decode_members(matrix: BitMatrix, universe: Sequence[Item]) -> list[Itemset]:
+    """Unpack every mask row back into an :class:`Itemset`, row order kept."""
+    rows, cols = matrix.nonzero()
+    per_row = np.bincount(rows, minlength=matrix.n_rows)
+    members: list[Itemset] = []
+    position = 0
+    for row in range(matrix.n_rows):
+        stop = position + int(per_row[row])
+        members.append(Itemset(universe[col] for col in cols[position:stop]))
+        position = stop
+    return members
+
+
+# ----------------------------------------------------------------------
+# Section encoders
+# ----------------------------------------------------------------------
+def _family_section(prefix: str, family: ItemsetFamily, payload: dict) -> dict:
+    """Pack one itemset family into ``payload``; return its manifest entry."""
+    members = family.itemsets()
+    universe = sorted_universe(item for member in members for item in member)
+    payload[f"{prefix}__words"] = pack_itemsets_into(members, universe).words
+    payload[f"{prefix}__counts"] = np.array(
+        [family.support_count(member) for member in members], dtype=np.int64
+    )
+    payload[f"{prefix}__universe"] = _encode_items(universe)
+    return {
+        "n_members": len(members),
+        "n_objects": family.n_objects,
+        "minsup_count": family.minsup_count,
+    }
+
+
+def _load_family(
+    prefix: str, data, entry: dict, closed: bool
+) -> ItemsetFamily | ClosedItemsetFamily:
+    universe = _decode_items(data[f"{prefix}__universe"])
+    matrix = BitMatrix(data[f"{prefix}__words"], len(universe))
+    counts = data[f"{prefix}__counts"]
+    members = _decode_members(matrix, universe)
+    supports = dict(zip(members, (int(c) for c in counts)))
+    cls = ClosedItemsetFamily if closed else ItemsetFamily
+    return cls(
+        supports,
+        n_objects=int(entry["n_objects"]),
+        minsup_count=int(entry["minsup_count"]),
+    )
+
+
+def _rules_section(name: str, arrays: RuleArrays, payload: dict) -> None:
+    prefix = f"rules__{name}"
+    payload[f"{prefix}__antecedents"] = arrays.antecedents.words
+    payload[f"{prefix}__consequents"] = arrays.consequents.words
+    payload[f"{prefix}__support"] = arrays.support
+    payload[f"{prefix}__confidence"] = arrays.confidence
+    payload[f"{prefix}__support_count"] = arrays.support_count
+    payload[f"{prefix}__universe"] = _encode_items(arrays.universe)
+
+
+def _load_rules(name: str, data) -> RuleArrays:
+    prefix = f"rules__{name}"
+    universe = _decode_items(data[f"{prefix}__universe"])
+    return RuleArrays(
+        BitMatrix(data[f"{prefix}__antecedents"], len(universe)),
+        BitMatrix(data[f"{prefix}__consequents"], len(universe)),
+        universe,
+        data[f"{prefix}__support"],
+        data[f"{prefix}__confidence"],
+        data[f"{prefix}__support_count"],
+    )
+
+
+def _json_safe(value):
+    """Best-effort JSON coercion for basis metadata (numpy scalars, etc.)."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# The stored run
+# ----------------------------------------------------------------------
+@dataclass
+class StoredRun:
+    """Everything :func:`load_run` rehydrated from one container.
+
+    Sections absent from the file are ``None`` (or empty for the rule
+    mapping).  The lattice, when present, carries the *stored* packed
+    order core — no containment or reduction pass ran to build it.
+    """
+
+    path: Path
+    manifest: dict
+    database: TransactionDatabase | None = None
+    frequent: ItemsetFamily | None = None
+    closed: ClosedItemsetFamily | None = None
+    generators: GeneratorFamily | None = None
+    lattice: IcebergLattice | None = None
+    rule_arrays: dict[str, RuleArrays] = field(default_factory=dict)
+    basis_kinds: dict[str, str] = field(default_factory=dict)
+    basis_metadata: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """Dataset name recorded at save time (``"unnamed"`` when absent).
+
+        The manifest always carries the ``name`` key (possibly null), so
+        the fallback must trigger on ``None``, not on a missing key.
+        """
+        value = self.manifest.get("dataset", {}).get("name")
+        return "unnamed" if value is None else str(value)
+
+    @property
+    def minsup(self) -> float | None:
+        """Relative minimum support of the stored run, if recorded."""
+        value = self.manifest.get("minsup")
+        return None if value is None else float(value)
+
+    @property
+    def minconf(self) -> float | None:
+        """Minimum confidence of the stored run, if recorded."""
+        value = self.manifest.get("minconf")
+        return None if value is None else float(value)
+
+    @property
+    def sections(self) -> tuple[str, ...]:
+        """The sections present in the container."""
+        return tuple(self.manifest.get("sections", ()))
+
+    def require(self, section: str):
+        """The section's object, or a clear error naming what is missing."""
+        attribute = {
+            "context": "database",
+            "frequent": "frequent",
+            "closed": "closed",
+            "generators": "generators",
+            "order": "lattice",
+        }.get(section)
+        if attribute is None:
+            raise InvalidParameterError(f"unknown store section {section!r}")
+        value = getattr(self, attribute)
+        if value is None:
+            raise StoreFormatError(
+                f"store {self.path} has no {section!r} section "
+                f"(sections: {', '.join(self.sections) or 'none'})"
+            )
+        return value
+
+
+# ----------------------------------------------------------------------
+# Save / load
+# ----------------------------------------------------------------------
+def save_run(
+    path: str | Path,
+    *,
+    database: TransactionDatabase | None = None,
+    frequent: ItemsetFamily | None = None,
+    closed: ClosedItemsetFamily | None = None,
+    generators: GeneratorFamily | None = None,
+    lattice: IcebergLattice | None = None,
+    rule_arrays: Mapping[str, RuleArrays] | None = None,
+    basis_kinds: Mapping[str, str] | None = None,
+    basis_metadata: Mapping[str, Mapping] | None = None,
+    name: str | None = None,
+    minsup: float | None = None,
+    minconf: float | None = None,
+    extra: Mapping | None = None,
+) -> Path:
+    """Write one mining run into a versioned ``.npz`` container.
+
+    Every argument is optional; only the supplied sections are written.
+    ``lattice`` must have been built over ``closed`` (the loaded core is
+    re-attached to the loaded family by member index).  Returns the path
+    written.
+    """
+    path = Path(path)
+    payload: dict[str, np.ndarray] = {}
+    manifest: dict = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "dataset": {"name": name or (database.name if database is not None else None)},
+        "minsup": minsup,
+        "minconf": minconf,
+        "sections": [],
+        "families": {},
+        "bases": [],
+        "extra": _json_safe(dict(extra)) if extra else {},
+    }
+
+    if database is not None:
+        matrix = database.matrix
+        rows, cols = np.nonzero(matrix)
+        indptr = np.concatenate(
+            ([0], np.cumsum(np.bincount(rows, minlength=database.n_objects)))
+        )
+        payload["context__indptr"] = indptr.astype(np.int64)
+        payload["context__item_ids"] = cols.astype(np.int64)
+        payload["context__items"] = _encode_items(database.items)
+        manifest["dataset"].update(
+            {"n_objects": database.n_objects, "n_items": database.n_items}
+        )
+        manifest["sections"].append("context")
+
+    if frequent is not None:
+        manifest["families"]["frequent"] = _family_section(
+            "frequent", frequent, payload
+        )
+        manifest["sections"].append("frequent")
+
+    if closed is not None:
+        manifest["families"]["closed"] = _family_section("closed", closed, payload)
+        manifest["sections"].append("closed")
+
+    if generators is not None:
+        if closed is None:
+            raise InvalidParameterError(
+                "storing generators requires storing their closed family too"
+            )
+        if generators.closed_family is not closed:
+            raise InvalidParameterError(
+                "the generator family was built from a different closed family"
+            )
+        members = closed.itemsets()
+        position = {member: index for index, member in enumerate(members)}
+        universe = sorted_universe(item for member in members for item in member)
+        gen_matrix, closures, _ = generators.packed_masks(universe)
+        payload["generators__words"] = gen_matrix.words
+        payload["generators__closure_index"] = np.array(
+            [position[closure] for closure in closures], dtype=np.int64
+        )
+        manifest["sections"].append("generators")
+
+    if lattice is not None:
+        if closed is None:
+            raise InvalidParameterError(
+                "storing a lattice requires storing its closed family too"
+            )
+        if lattice.closed_family is not closed:
+            raise InvalidParameterError(
+                "the lattice was built from a different closed family"
+            )
+        hasse_rows, hasse_cols = lattice.hasse_edge_indices()
+        payload["order__words"] = lattice.order_core.packed_containment_matrix().words
+        payload["order__rows"] = np.asarray(hasse_rows, dtype=np.int64)
+        payload["order__cols"] = np.asarray(hasse_cols, dtype=np.int64)
+        manifest["order"] = {
+            "strategy": lattice.strategy,
+            "n": len(lattice),
+            "n_edges": lattice.edge_count(),
+        }
+        manifest["sections"].append("order")
+
+    if rule_arrays:
+        for basis_name, arrays in rule_arrays.items():
+            _rules_section(basis_name, arrays, payload)
+            manifest["bases"].append(
+                {
+                    "name": basis_name,
+                    "kind": (basis_kinds or {}).get(basis_name),
+                    "rules": len(arrays),
+                    "metadata": _json_safe(
+                        dict((basis_metadata or {}).get(basis_name, {}))
+                    ),
+                }
+            )
+        manifest["sections"].append("rules")
+
+    manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+    payload["manifest"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return path
+
+
+def _parse_manifest(raw: np.ndarray, source: str | Path) -> dict:
+    try:
+        manifest = json.loads(np.asarray(raw, dtype=np.uint8).tobytes().decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StoreFormatError(f"{source}: unreadable store manifest ({exc})") from None
+    if manifest.get("format") != FORMAT_NAME:
+        raise StoreFormatError(
+            f"{source} is not a {FORMAT_NAME} container "
+            f"(format={manifest.get('format')!r})"
+        )
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{source} uses store format version {version!r}; this reader "
+            f"supports version {FORMAT_VERSION}"
+        )
+    return manifest
+
+
+def _open_container(path: Path):
+    """``np.load`` with every not-an-NPZ failure mapped to StoreFormatError.
+
+    numpy's own errors here are misleading (a text file surfaces as a
+    pickle complaint, a truncated one as BadZipFile); the documented
+    contract is one loud :class:`~repro.errors.StoreFormatError` for
+    anything that is not a readable store container.
+    """
+    import zipfile
+
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise StoreFormatError(f"store file not found: {path}") from None
+    except (ValueError, OSError, zipfile.BadZipFile, EOFError) as exc:
+        raise StoreFormatError(
+            f"{path} is not a readable store container ({exc})"
+        ) from None
+
+
+def read_manifest(path: str | Path) -> dict:
+    """The validated manifest of a container, without loading any section."""
+    path = Path(path)
+    with _open_container(path) as data:
+        if "manifest" not in data:
+            raise StoreFormatError(f"{path} has no store manifest")
+        return _parse_manifest(data["manifest"], path)
+
+
+def load_run(
+    path: str | Path, sections: Iterable[str] | None = None
+) -> StoredRun:
+    """Rehydrate a container written by :func:`save_run`.
+
+    ``sections`` restricts loading to the named sections (dependencies
+    included automatically: generators and the lattice both need the
+    closed family); sections the file does not hold are skipped — use
+    :meth:`StoredRun.require` for a clear error when one is mandatory.
+    ``None`` loads everything the file holds.  The returned lattice
+    wraps the *stored* order core — no containment or
+    transitive-reduction pass runs on load.
+    """
+    path = Path(path)
+    with _open_container(path) as data:
+        if "manifest" not in data:
+            raise StoreFormatError(f"{path} has no store manifest")
+        manifest = _parse_manifest(data["manifest"], path)
+        present = set(manifest.get("sections", []))
+        wanted = present if sections is None else set(sections) & present
+        if wanted & {"generators", "order"}:
+            wanted.add("closed")
+        wanted &= present
+
+        run = StoredRun(path=path, manifest=manifest)
+
+        if "context" in wanted:
+            items = _decode_items(data["context__items"])
+            indptr = data["context__indptr"]
+            item_ids = data["context__item_ids"]
+            transactions = [
+                [items[c] for c in item_ids[indptr[i] : indptr[i + 1]]]
+                for i in range(len(indptr) - 1)
+            ]
+            run.database = TransactionDatabase(
+                transactions, item_order=items, name=run.name
+            )
+
+        families = manifest.get("families", {})
+        if "frequent" in wanted:
+            run.frequent = _load_family(
+                "frequent", data, families["frequent"], closed=False
+            )
+        if "closed" in wanted:
+            run.closed = _load_family("closed", data, families["closed"], closed=True)
+
+        if "generators" in wanted:
+            members = run.closed.itemsets()
+            universe = sorted_universe(
+                item for member in members for item in member
+            )
+            gen_matrix = BitMatrix(data["generators__words"], len(universe))
+            closure_index = data["generators__closure_index"]
+            generator_sets = _decode_members(gen_matrix, universe)
+            by_closure: dict[Itemset, list[Itemset]] = {}
+            for index, generator in zip(closure_index, generator_sets):
+                by_closure.setdefault(members[int(index)], []).append(generator)
+            run.generators = GeneratorFamily(run.closed, by_closure)
+
+        if "order" in wanted:
+            n = int(manifest["order"]["n"])
+            core = PackedOrderCore.from_parts(
+                BitMatrix(data["order__words"], n),
+                data["order__rows"],
+                data["order__cols"],
+            )
+            run.lattice = IcebergLattice(run.closed, order_core=core)
+
+        if "rules" in wanted:
+            for entry in manifest.get("bases", []):
+                basis_name = entry["name"]
+                run.rule_arrays[basis_name] = _load_rules(basis_name, data)
+                if entry.get("kind"):
+                    run.basis_kinds[basis_name] = entry["kind"]
+                run.basis_metadata[basis_name] = dict(entry.get("metadata", {}))
+        return run

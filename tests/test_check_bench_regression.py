@@ -1,0 +1,122 @@
+"""Unit tests of the CI benchmark-regression gate.
+
+``scripts/check_bench_regression.py`` is the blocking step of the bench
+job; these tests pin its decision table — pass, regression, missing
+baseline, and (the bug this file was added with) an *empty current run*,
+which must fail loudly instead of reading as "nothing to gate".
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parent.parent / "scripts" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def write_bench(path: Path, means: dict[str, float]) -> Path:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def baseline(tmp_path):
+    return write_bench(
+        tmp_path / "base.json",
+        {"test_engine_fast": 0.010, "test_engine_other": 0.020},
+    )
+
+
+def test_no_regression_passes(tmp_path, baseline, capsys):
+    current = write_bench(
+        tmp_path / "cur.json",
+        {"test_engine_fast": 0.012, "test_engine_other": 0.019},
+    )
+    assert gate.main([str(baseline), str(current)]) == 0
+    assert "ok: no engine benchmark" in capsys.readouterr().out
+
+
+def test_regression_fails(tmp_path, baseline, capsys):
+    current = write_bench(
+        tmp_path / "cur.json",
+        {"test_engine_fast": 0.050, "test_engine_other": 0.019},
+    )
+    assert gate.main([str(baseline), str(current)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "test_engine_fast" in out
+
+
+def test_missing_baseline_passes(tmp_path, capsys):
+    """A base ref that predates the suite must not block the gate."""
+    current = write_bench(tmp_path / "cur.json", {"test_engine_fast": 0.012})
+    assert gate.main([str(tmp_path / "nope.json"), str(current)]) == 0
+    assert "no readable baseline" in capsys.readouterr().out
+
+
+def test_empty_current_run_fails(tmp_path, baseline, capsys):
+    """A current side with zero benchmarks is a broken suite, not a pass."""
+    empty = write_bench(tmp_path / "cur.json", {})
+    assert gate.main([str(baseline), str(empty)]) == 1
+    assert "ERROR: no readable current-run benchmarks" in capsys.readouterr().out
+
+
+def test_missing_current_file_fails(tmp_path, baseline, capsys):
+    """Pointing the gate at nonexistent current files must fail too."""
+    assert gate.main([str(baseline), str(tmp_path / "absent.json")]) == 1
+    assert "ERROR" in capsys.readouterr().out
+
+
+def test_both_sides_empty_fails(tmp_path, capsys):
+    """An environmental break that empties BOTH sides must still fail.
+
+    The current-side check runs first, so the lenient missing-baseline
+    early exit cannot mask a fully broken benchmark suite.
+    """
+    assert gate.main(
+        [str(tmp_path / "no-base.json"), str(tmp_path / "no-cur.json")]
+    ) == 1
+    assert "ERROR: no readable current-run benchmarks" in capsys.readouterr().out
+
+
+def test_unreadable_current_file_fails(tmp_path, baseline, capsys):
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json", encoding="utf-8")
+    assert gate.main([str(baseline), str(broken)]) == 1
+
+
+def test_benchmark_missing_from_current_warns_loudly(tmp_path, baseline, capsys):
+    """Deleting a gated benchmark cannot fail, but must be impossible to miss."""
+    current = write_bench(tmp_path / "cur.json", {"test_engine_fast": 0.011})
+    assert gate.main([str(baseline), str(current)]) == 0
+    out = capsys.readouterr().out
+    assert "WARNING" in out and "test_engine_other" in out and "MISSING" in out
+
+
+def test_best_of_n_uses_minimum_mean(tmp_path, baseline, capsys):
+    """A single noisy run must not fail when a sibling run was fine."""
+    slow = write_bench(tmp_path / "cur1.json", {"test_engine_fast": 0.500})
+    fast = write_bench(tmp_path / "cur2.json", {"test_engine_fast": 0.011})
+    assert gate.main([str(baseline), f"{slow},{fast}"]) == 0
+
+
+def test_filter_restricts_gated_set(tmp_path, capsys):
+    baseline = write_bench(tmp_path / "base.json", {"test_table_slow": 0.01})
+    current = write_bench(tmp_path / "cur.json", {"test_table_slow": 1.00})
+    # Outside the 'engine' filter: a 100x slowdown is not gated...
+    assert gate.main([str(baseline), str(current)]) == 0
+    capsys.readouterr()
+    # ...but gating everything ('' filter) catches it.
+    assert gate.main([str(baseline), str(current), "--filter", ""]) == 1

@@ -8,12 +8,14 @@ from repro import TransactionDatabase
 from repro.core.itemset import Itemset
 from repro.data.io import (
     load_basket_file,
+    load_database_store,
     load_tabular_file,
     parse_basket_lines,
     save_basket_file,
+    save_database_store,
     save_tabular_file,
 )
-from repro.errors import DatasetFormatError
+from repro.errors import DatasetFormatError, StoreFormatError
 
 
 class TestBasketFormat:
@@ -101,3 +103,24 @@ class TestTabularFormat:
         path = tmp_path / "partial.csv"
         save_tabular_file(db, path)
         assert path.read_text().splitlines()[1] == "3,?"
+
+
+class TestStoreFormat:
+    def test_round_trip_preserves_item_order_and_name(self, tmp_path, toy_db):
+        import numpy as np
+
+        path = tmp_path / "toy.npz"
+        save_database_store(toy_db, path)
+        loaded = load_database_store(path)
+        assert loaded.name == toy_db.name
+        assert loaded.items == toy_db.items
+        assert np.array_equal(loaded.matrix, toy_db.matrix)
+        assert loaded.transactions() == toy_db.transactions()
+
+    def test_store_without_context_raises(self, tmp_path, toy_closed):
+        from repro.store import save_run
+
+        path = tmp_path / "families-only.npz"
+        save_run(path, closed=toy_closed)
+        with pytest.raises(StoreFormatError):
+            load_database_store(path)

@@ -1,0 +1,164 @@
+"""Hypothesis property suite for the columnar rule-set operations.
+
+The :class:`~repro.core.rulearrays.RuleArrays` key-based set operations
+(union / difference / intersection), the universe re-packing
+(``project_to``) and the object round trip must agree with the
+object-level :class:`~repro.core.rules.RuleSet` oracle on random rule
+collections — including universes of 63/64/65 items, the widths that
+straddle the packed uint64 word boundary, and operand pairs packed over
+*different* universes (which exercises the automatic alignment path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.itemset import Itemset
+from repro.core.rulearrays import RuleArrays, sorted_universe
+from repro.core.rules import AssociationRule, RuleSet
+
+#: Universe sizes under test; 63/64/65 straddle the word boundary.
+UNIVERSE_SIZES = (1, 2, 5, 63, 64, 65)
+
+#: One shared label pool; a universe of size n is its prefix.
+ITEM_POOL = tuple(f"i{position:02d}" for position in range(max(UNIVERSE_SIZES)))
+
+
+def assert_same_arrays(left: RuleArrays, right: RuleArrays) -> None:
+    """Byte-identical columns (same universe, same rows, same stats)."""
+    assert left.universe == right.universe
+    assert np.array_equal(left.antecedents.words, right.antecedents.words)
+    assert np.array_equal(left.consequents.words, right.consequents.words)
+    assert np.array_equal(left.support, right.support)
+    assert np.array_equal(left.confidence, right.confidence)
+    assert np.array_equal(left.support_count, right.support_count)
+
+
+@st.composite
+def rules_over(draw, universe: tuple[str, ...], max_rules: int = 12):
+    """A random list of well-formed rules over a fixed universe.
+
+    Rule sides are drawn as index sets so word-boundary bits (62..65)
+    are as likely as any other; statistics are drawn from a small grid
+    so that duplicate keys (same sides, same stats) occur and exercise
+    the first-wins dedup semantics.
+    """
+    n_rules = draw(st.integers(min_value=0, max_value=max_rules))
+    rules = []
+    indices = st.integers(min_value=0, max_value=len(universe) - 1)
+    for _ in range(n_rules):
+        consequent = draw(st.sets(indices, min_size=1, max_size=4))
+        antecedent = draw(
+            st.sets(
+                indices.filter(lambda i: i not in consequent),
+                min_size=0,
+                max_size=4,
+            )
+        )
+        confidence = draw(st.sampled_from((0.25, 0.5, 0.75, 1.0)))
+        support = draw(st.sampled_from((0.1, 0.2, 0.4))) * confidence
+        count = draw(st.sampled_from((None, 1, 2, 7)))
+        rules.append(
+            AssociationRule(
+                Itemset(universe[i] for i in antecedent),
+                Itemset(universe[i] for i in consequent),
+                support=support,
+                confidence=confidence,
+                support_count=count,
+            )
+        )
+    return rules
+
+
+@st.composite
+def rule_pair_with_universes(draw):
+    """Two rule lists over (possibly different) word-boundary universes."""
+    size_a = draw(st.sampled_from(UNIVERSE_SIZES))
+    size_b = draw(st.sampled_from(UNIVERSE_SIZES))
+    universe_a = ITEM_POOL[:size_a]
+    universe_b = ITEM_POOL[:size_b]
+    return (
+        universe_a,
+        draw(rules_over(universe_a)),
+        universe_b,
+        draw(rules_over(universe_b)),
+    )
+
+
+def oracle(rules) -> RuleSet:
+    """The object-level oracle (insertion-order, first-wins dedup)."""
+    return RuleSet(rules)
+
+
+@given(data=rule_pair_with_universes())
+@settings(max_examples=80, deadline=None)
+def test_union_matches_ruleset_oracle(data):
+    universe_a, rules_a, universe_b, rules_b = data
+    arrays = RuleArrays.from_rules(rules_a, universe_a).union(
+        RuleArrays.from_rules(rules_b, universe_b)
+    )
+    expected = oracle(rules_a).union(oracle(rules_b))
+    assert RuleSet.from_arrays(arrays).same_rules_and_statistics(expected)
+
+
+@given(data=rule_pair_with_universes())
+@settings(max_examples=80, deadline=None)
+def test_difference_matches_ruleset_oracle(data):
+    universe_a, rules_a, universe_b, rules_b = data
+    arrays = RuleArrays.from_rules(rules_a, universe_a).difference(
+        RuleArrays.from_rules(rules_b, universe_b)
+    )
+    expected = oracle(rules_a).difference(oracle(rules_b))
+    assert RuleSet.from_arrays(arrays).same_rules_and_statistics(expected)
+
+
+@given(data=rule_pair_with_universes())
+@settings(max_examples=80, deadline=None)
+def test_intersection_matches_ruleset_oracle(data):
+    universe_a, rules_a, universe_b, rules_b = data
+    arrays = RuleArrays.from_rules(rules_a, universe_a).intersection(
+        RuleArrays.from_rules(rules_b, universe_b)
+    )
+    expected = oracle(rules_a).intersection(oracle(rules_b))
+    assert RuleSet.from_arrays(arrays).same_rules_and_statistics(expected)
+
+
+@pytest.mark.parametrize("size", UNIVERSE_SIZES)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_project_to_round_trip(size, data):
+    """Projecting to a padded superset universe and back is lossless."""
+    universe = ITEM_POOL[:size]
+    rules = data.draw(rules_over(universe))
+    arrays = RuleArrays.from_rules(rules, universe).deduplicated()
+    # Pad with fresh items so the target width crosses a different word
+    # count, then interleave canonically — bit positions all move.
+    extra = tuple(f"z{position:02d}" for position in range(3))
+    widened = sorted_universe(universe + extra)
+    projected = arrays.project_to(widened)
+    assert projected.universe == tuple(widened)
+    back = projected.project_to(universe)
+    assert_same_arrays(back, arrays)
+    # The projection must not change any rule's identity or statistics.
+    assert RuleSet.from_arrays(projected).same_rules_and_statistics(
+        RuleSet.from_arrays(arrays)
+    )
+
+
+@pytest.mark.parametrize("size", UNIVERSE_SIZES)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_from_rules_object_round_trip(size, data):
+    """Packing rules into columns and iterating them back is lossless."""
+    universe = ITEM_POOL[:size]
+    rules = data.draw(rules_over(universe))
+    arrays = RuleArrays.from_rules(rules, universe)
+    back = list(arrays.iter_rules())
+    assert len(back) == len(rules)
+    for original, rebuilt in zip(rules, back):
+        assert original.key() == rebuilt.key()
+        assert original.same_statistics(rebuilt)
+    # Wrapping dedups exactly like RuleSet insertion (first wins).
+    assert RuleSet.from_arrays(arrays).same_rules_and_statistics(oracle(rules))
