@@ -282,3 +282,55 @@ def test_engine_closure_cache_hit_rate(benchmark, mushroom):
     engine.closures(candidates)  # warm the cache
     result = benchmark(lambda: engine.closures(candidates))
     assert len(result) == 1_000
+
+
+@pytest.fixture(scope="module")
+def serve_daemon(mined, tmp_path_factory):
+    """A live `repro serve` daemon over a saved MUSHROOM* store."""
+    import http.client
+
+    from repro.experiments.harness import build_rule_artifacts, save_artifacts
+    from repro.serve import ServeApp, serve_in_thread
+
+    artifacts = build_rule_artifacts(mined, minconf=0.7)
+    path = tmp_path_factory.mktemp("serve-bench") / "run.npz"
+    save_artifacts(path, mined, artifacts)
+    app = ServeApp(path, watch=False)
+    server, _ = serve_in_thread(app)
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    yield connection
+    connection.close()
+    server.shutdown()
+    server.server_close()
+
+
+def test_serve_query_throughput(benchmark, serve_daemon):
+    """A keep-alive client's mixed query round against the live daemon.
+
+    Times the serve-many half of the pipeline end to end — HTTP parse,
+    columnar filtering, pagination, JSON render — over one persistent
+    connection, with the answer cache on (the steady-state daemon
+    workload).  Gated in CI alongside the engine benchmarks via
+    ``check_bench_regression.py --filter serve``.
+    """
+    connection = serve_daemon
+    paths = [
+        "/bases",
+        "/bases/dg/rules?limit=50",
+        "/bases/luxenburger/rules?min_confidence=0.8&limit=50",
+        "/bases/all/rules?limit=25&offset=25",
+        "/healthz",
+    ]
+
+    def query_round() -> int:
+        answered = 0
+        for path in paths * 4:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 200
+            answered += 1
+        return answered
+
+    assert benchmark(query_round) == 20

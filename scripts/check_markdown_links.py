@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Check that every relative markdown link in the repo docs resolves.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md ROADMAP.md docs/*.md
+
+For each ``[text](target)`` link in the given files:
+
+* ``http(s)://`` and ``mailto:`` targets are skipped (no network in CI);
+* relative file targets must exist on disk (resolved against the
+  containing file's directory);
+* ``#anchor`` fragments — standalone or on a file target — must match a
+  heading in the (target) document, using GitHub's slug rules
+  (lowercase, spaces to dashes, punctuation stripped).
+
+Exits non-zero listing every broken link.  Inline code spans are
+stripped first so literal ``[x](y)`` examples inside backticks don't
+count as links.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`]*`")
+
+
+def github_slug(heading: str) -> str:
+    """Return the GitHub anchor slug of a markdown heading."""
+    text = INLINE_CODE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes."""
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match) for match in HEADING.findall(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    """Return the broken links of one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    text = CODE_FENCE.sub("", text)
+    text = INLINE_CODE.sub("", text)
+    problems = []
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve() if file_part else path
+        if file_part and not resolved.exists():
+            problems.append(f"{path}: broken link target: {target}")
+            continue
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ""):
+                continue  # anchors into non-markdown files: not checked
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}: broken anchor #{anchor} "
+                    f"(no matching heading in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    paths = [Path(arg) for arg in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for path in paths:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"{len(paths)} files checked, all links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Threaded load-test harness for the ``repro serve`` daemon.
+
+Usage::
+
+    # against a store, self-hosting an in-process daemon on an
+    # ephemeral port (no separate server process needed):
+    PYTHONPATH=src python scripts/load_test_serve.py --store run.npz
+
+    # against an already-running daemon:
+    PYTHONPATH=src python scripts/load_test_serve.py \
+        --url http://127.0.0.1:8000 --threads 16 --requests 2000
+
+Each worker thread opens one persistent ``http.client.HTTPConnection``
+(keep-alive, like a real client pool) and walks a deterministic mix of
+endpoints — ``/healthz``, ``/bases``, several filtered/paginated
+``/bases/<name>/rules`` pages and, when the store supports it,
+``POST /derive`` candidates sampled from the served rules.  The report
+prints overall QPS, per-endpoint latency percentiles and error counts,
+plus the daemon's own ``/metrics`` cache counters before and after the
+run, so a cache-sizing change is visible in one invocation.
+
+Stdlib only; exits non-zero if any request failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import statistics
+import sys
+import threading
+import time
+from urllib.parse import urlsplit
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (which must be sorted)."""
+    if not samples:
+        return 0.0
+    index = min(len(samples) - 1, max(0, round(fraction * (len(samples) - 1))))
+    return samples[index]
+
+
+class Worker(threading.Thread):
+    """One client thread: a persistent connection walking the request mix."""
+
+    def __init__(self, host, port, requests, start_barrier, mix):
+        super().__init__(daemon=True)
+        self.host = host
+        self.port = port
+        self.requests = requests
+        self.start_barrier = start_barrier
+        self.mix = mix
+        self.latencies: dict[str, list[float]] = {}
+        self.errors: list[str] = []
+
+    def run(self) -> None:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        self.start_barrier.wait()
+        try:
+            for i in range(self.requests):
+                label, method, path, body = self.mix[i % len(self.mix)]
+                started = time.perf_counter()
+                try:
+                    headers = {}
+                    if body is not None:
+                        headers["Content-Type"] = "application/json"
+                    connection.request(method, path, body=body, headers=headers)
+                    response = connection.getresponse()
+                    payload = response.read()
+                    if response.status >= 500:
+                        self.errors.append(
+                            f"{method} {path} -> {response.status}: "
+                            f"{payload[:200]!r}"
+                        )
+                except (OSError, http.client.HTTPException) as exc:
+                    self.errors.append(f"{method} {path} -> {exc!r}")
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=30
+                    )
+                    continue
+                self.latencies.setdefault(label, []).append(
+                    time.perf_counter() - started
+                )
+        finally:
+            connection.close()
+
+
+def fetch_json(host: str, port: int, path: str) -> dict:
+    """One ad-hoc GET returning the decoded JSON payload."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def build_mix(host: str, port: int) -> list[tuple[str, str, str, str | None]]:
+    """Build the request mix from the daemon's own /bases listing.
+
+    The mix interleaves the cheap endpoints with rule pages over every
+    served basis (several filter combinations, so both cache hits and
+    distinct cache entries occur) and a few derivation candidates taken
+    from the first served rules.
+    """
+    bases = fetch_json(host, port, "/bases")["bases"]
+    mix: list[tuple[str, str, str, str | None]] = [
+        ("healthz", "GET", "/healthz", None),
+        ("bases", "GET", "/bases", None),
+    ]
+    for basis in bases:
+        name = basis["name"]
+        mix.append(("rules", "GET", f"/bases/{name}/rules?limit=50", None))
+        mix.append(
+            ("rules", "GET", f"/bases/{name}/rules?min_confidence=0.8", None)
+        )
+        mix.append(
+            ("rules", "GET", f"/bases/{name}/rules?limit=25&offset=25", None)
+        )
+    for basis in bases:
+        name = basis["name"]
+        page = fetch_json(host, port, f"/bases/{name}/rules?limit=5")
+        for rule in page["rules"]:
+            if not rule["antecedent"]:
+                continue
+            body = json.dumps(
+                {
+                    "antecedent": rule["antecedent"],
+                    "consequent": rule["consequent"],
+                }
+            )
+            mix.append(("derive", "POST", "/derive", body))
+        if len(mix) >= 24:
+            break
+    mix.append(("metrics", "GET", "/metrics", None))
+    return mix
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", help="base URL of a running daemon")
+    target.add_argument(
+        "--store", help="store file to self-host on an ephemeral port"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=8, help="client threads (default: 8)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=400,
+        help="total requests across all threads (default: 400)",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="answer-cache capacity of the self-hosted daemon",
+    )
+    args = parser.parse_args(argv)
+
+    server = None
+    if args.store:
+        from repro.serve import ServeApp, serve_in_thread
+
+        app = ServeApp(args.store, cache_size=args.cache_size, watch=False)
+        server, _ = serve_in_thread(app)
+        host, port = server.server_address[:2]
+        print(f"self-hosting {args.store} at {server.url}")
+    else:
+        parsed = urlsplit(args.url)
+        host, port = parsed.hostname, parsed.port or 80
+
+    try:
+        mix = build_mix(host, port)
+        before = fetch_json(host, port, "/metrics")
+        per_thread = max(1, args.requests // args.threads)
+        barrier = threading.Barrier(args.threads + 1)
+        workers = [
+            Worker(host, port, per_thread, barrier, mix)
+            for _ in range(args.threads)
+        ]
+        for worker in workers:
+            worker.start()
+        started = time.perf_counter()
+        barrier.wait()
+        for worker in workers:
+            worker.join()
+        elapsed = time.perf_counter() - started
+        after = fetch_json(host, port, "/metrics")
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+
+    total = sum(
+        len(samples)
+        for worker in workers
+        for samples in worker.latencies.values()
+    )
+    errors = [error for worker in workers for error in worker.errors]
+    print(
+        f"\n{total} requests, {args.threads} threads, "
+        f"{elapsed:.2f}s wall, {total / elapsed:.0f} req/s"
+    )
+    print(f"{'endpoint':<10} {'count':>6} {'mean':>9} {'p50':>9} "
+          f"{'p95':>9} {'max':>9}")
+    merged: dict[str, list[float]] = {}
+    for worker in workers:
+        for label, samples in worker.latencies.items():
+            merged.setdefault(label, []).extend(samples)
+    for label in sorted(merged):
+        samples = sorted(merged[label])
+        print(
+            f"{label:<10} {len(samples):>6} "
+            f"{statistics.fmean(samples) * 1e3:>8.2f}m "
+            f"{_percentile(samples, 0.50) * 1e3:>8.2f}m "
+            f"{_percentile(samples, 0.95) * 1e3:>8.2f}m "
+            f"{samples[-1] * 1e3:>8.2f}m"
+        )
+    cache_before = before["cache"]
+    cache_after = after["cache"]
+    print(
+        f"cache: {cache_after['hits'] - cache_before['hits']} hits / "
+        f"{cache_after['misses'] - cache_before['misses']} misses this run "
+        f"({cache_after['size']}/{cache_after['capacity']} entries)"
+    )
+    if errors:
+        print(f"\n{len(errors)} FAILED requests, first 5:", file=sys.stderr)
+        for error in errors[:5]:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

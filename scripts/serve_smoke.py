@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Boot `repro serve` on the Fig. 1 store and diff every endpoint vs golden.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py             # check
+    PYTHONPATH=src python scripts/serve_smoke.py --update    # regenerate
+
+End-to-end CI smoke of the serving daemon: mine the paper's Fig. 1
+context, save it into a store container, start a real HTTP server on an
+ephemeral port, query one representative request per endpoint family
+over the wire, normalize the volatile fields (paths, ports, latencies,
+uptime) and compare the combined JSON document
+character-for-character against ``tests/golden/serve_smoke.json``.
+
+A drift in any endpoint's answer shape or content — a renamed key, a
+changed rule order, a different statistic — fails this script, exactly
+like the CLI golden files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import http.client
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "serve_smoke.json"
+
+FIG1_TRANSACTIONS = [
+    ["a", "c", "d"],
+    ["b", "c", "e"],
+    ["a", "b", "c", "e"],
+    ["b", "e"],
+    ["a", "b", "c", "e"],
+]
+
+#: One representative request per endpoint family.
+REQUESTS = [
+    ("GET", "/healthz", None),
+    ("GET", "/bases", None),
+    ("GET", "/bases/dg/rules", None),
+    ("GET", "/bases/all/rules?min_confidence=0.75&limit=3&offset=1", None),
+    ("GET", "/bases/luxenburger/rules?kind=approximate", None),
+    ("GET", "/bases/nope/rules", None),
+    ("POST", "/derive", {"antecedent": ["c"], "consequent": ["b", "e"]}),
+    ("POST", "/derive", {"antecedent": ["a"], "consequent": ["d"]}),
+    ("GET", "/metrics", None),
+]
+
+#: Volatile keys replaced by a placeholder before comparison.
+VOLATILE = {
+    "store", "uptime_seconds", "qps", "latency_seconds_total",
+    "latency_seconds_max", "latency_seconds_mean",
+}
+
+
+def normalize(value):
+    """Replace run-dependent values so the document is reproducible."""
+    if isinstance(value, dict):
+        return {
+            key: "<volatile>" if key in VOLATILE else normalize(child)
+            for key, child in value.items()
+        }
+    if isinstance(value, list):
+        return [normalize(child) for child in value]
+    return value
+
+
+def collect() -> str:
+    """Run the daemon and return the normalized combined JSON document."""
+    from repro.data.context import TransactionDatabase
+    from repro.experiments.harness import (
+        build_rule_artifacts,
+        mine_itemsets,
+        save_artifacts,
+    )
+    from repro.serve import ServeApp, serve_in_thread
+
+    db = TransactionDatabase(FIG1_TRANSACTIONS, name="fig1")
+    mining = mine_itemsets(db, minsup=0.4)
+    artifacts = build_rule_artifacts(mining, minconf=0.7)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "fig1.npz"
+        save_artifacts(store_path, mining, artifacts)
+        server, _thread = serve_in_thread(ServeApp(store_path, watch=False))
+        connection = http.client.HTTPConnection(
+            *server.server_address[:2], timeout=30
+        )
+        document = []
+        try:
+            for method, path, body in REQUESTS:
+                payload = json.dumps(body) if body is not None else None
+                headers = (
+                    {"Content-Type": "application/json"} if payload else {}
+                )
+                connection.request(method, path, body=payload, headers=headers)
+                response = connection.getresponse()
+                document.append({
+                    "request": f"{method} {path}",
+                    "status": response.status,
+                    "body": normalize(json.loads(response.read())),
+                })
+        finally:
+            connection.close()
+            server.shutdown()
+            server.server_close()
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the golden file instead of checking",
+    )
+    args = parser.parse_args(argv)
+
+    actual = collect()
+    if args.update:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(actual, encoding="utf-8")
+        print(f"regenerated {GOLDEN_PATH.relative_to(REPO_ROOT)}")
+        return 0
+    if not GOLDEN_PATH.exists():
+        print(
+            f"golden file {GOLDEN_PATH} is missing; run with --update",
+            file=sys.stderr,
+        )
+        return 1
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    if actual != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile="golden/serve_smoke.json",
+            tofile="actual",
+        ))
+        print(f"serve output drifted from golden:\n{diff}", file=sys.stderr)
+        return 1
+    print(f"{len(REQUESTS)} endpoint answers match golden/serve_smoke.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

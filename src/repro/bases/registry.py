@@ -38,7 +38,23 @@ _REGISTRY: dict[str, RuleBasis] = {}
 
 
 def register_basis(basis: RuleBasis) -> RuleBasis:
-    """Register *basis* under its ``name`` (usable as a class decorator)."""
+    """Register *basis* under its ``name`` (usable as a class decorator).
+
+    Parameters
+    ----------
+    basis : RuleBasis or type[RuleBasis]
+        The basis to register; a class is instantiated with no arguments.
+
+    Returns
+    -------
+    RuleBasis
+        The *basis* argument unchanged, so the decorator form works.
+
+    Raises
+    ------
+    InvalidParameterError
+        When a basis with the same name is already registered.
+    """
     instance = basis() if isinstance(basis, type) else basis
     name = instance.name
     if name in _REGISTRY:
@@ -48,7 +64,23 @@ def register_basis(basis: RuleBasis) -> RuleBasis:
 
 
 def get_basis(name: str) -> RuleBasis:
-    """Return the registered basis called *name*."""
+    """Return the registered basis called *name*.
+
+    Parameters
+    ----------
+    name : str
+        A registered basis name (see :func:`registered_names`).
+
+    Returns
+    -------
+    RuleBasis
+        The registered instance.
+
+    Raises
+    ------
+    InvalidParameterError
+        For unknown names, listing every known basis.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -68,10 +100,22 @@ def resolve_basis_names(
 ) -> tuple[str, ...]:
     """Normalise a basis selection into a validated tuple of names.
 
-    Accepts ``None`` (the default selection), a comma-separated string
-    (the CLI form, e.g. ``"dg,luxenburger-reduced"``) or a sequence of
-    names.  Order is preserved, duplicates are dropped, unknown names
-    raise.
+    Parameters
+    ----------
+    selection : str or sequence of str, optional
+        ``None`` (the default selection), a comma-separated string (the
+        CLI form, e.g. ``"dg,luxenburger-reduced"``) or a sequence of
+        names.
+
+    Returns
+    -------
+    tuple[str, ...]
+        The validated names; order preserved, duplicates dropped.
+
+    Raises
+    ------
+    InvalidParameterError
+        On unknown names or an empty selection.
     """
     if selection is None:
         names: Iterable[str] = DEFAULT_BASES
@@ -95,8 +139,19 @@ def build_bases(
 ) -> dict[str, BuiltBasis]:
     """Build the selected bases from one shared context.
 
-    Returns ``name -> BuiltBasis`` in selection order.  Bases that need a
-    lattice share the context's single lazily built instance.
+    Parameters
+    ----------
+    context : BasisContext
+        The shared construction inputs (closed family, thresholds,
+        optional frequent family / generators, the lazily built lattice).
+    names : str or sequence of str, optional
+        Basis selection, as accepted by :func:`resolve_basis_names`.
+
+    Returns
+    -------
+    dict[str, BuiltBasis]
+        ``name -> BuiltBasis`` in selection order.  Bases that need a
+        lattice share the context's single lazily built instance.
     """
     return {
         name: get_basis(name).build(context)

@@ -183,7 +183,28 @@ class BasisDerivation:
         antecedent: Itemset | Iterable[Item],
         consequent: Itemset | Iterable[Item],
     ) -> AssociationRule:
-        """Reconstruct the rule ``antecedent → consequent`` with its statistics."""
+        """Reconstruct the rule ``antecedent → consequent`` with its statistics.
+
+        Parameters
+        ----------
+        antecedent : Itemset or iterable of items
+            The rule body (may be empty).
+        consequent : Itemset or iterable of items
+            The rule head.
+
+        Returns
+        -------
+        AssociationRule
+            The candidate rule carrying the support, confidence and
+            absolute support count reconstructed from the bases alone.
+
+        Raises
+        ------
+        DerivationError
+            When the rule is not derivable — its itemsets are not
+            frequent at the mining threshold, or no Luxenburger path
+            connects the two closures.
+        """
         antecedent = Itemset.coerce(antecedent)
         consequent = Itemset.coerce(consequent)
         count = self.support_count(antecedent.union(consequent))

@@ -406,9 +406,11 @@ class RuleArrays:
     # Shape
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        """Return the number of rules held in the columns."""
         return self.antecedents.n_rows
 
     def __repr__(self) -> str:
+        """Summarize the store as rule and universe counts."""
         return f"RuleArrays({len(self)} rules, {len(self.universe)} items)"
 
     @property
@@ -530,6 +532,7 @@ class RuleArrays:
         keys: list[np.ndarray] = []
 
         def push(matrix: BitMatrix) -> None:
+            """Append one mask matrix's lexsort key columns to *keys*."""
             reversed_rows = _reversed_bit_rows(matrix)
             # lexsort is ascending; ascending itemset order is descending
             # on the reversed rows, so complement every word.  Least
@@ -576,6 +579,7 @@ class RuleArrays:
         dropped = np.nonzero(~kept)[0]
 
         def remap(matrix: BitMatrix) -> BitMatrix:
+            """Re-index one mask matrix onto the target universe."""
             n_rows = matrix.n_rows
             out = BitMatrix.zeros(n_rows, len(universe))
             if n_rows == 0 or matrix.n_cols == 0:

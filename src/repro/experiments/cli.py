@@ -20,13 +20,19 @@ The CLI gives quick terminal access to the things users do most:
   store instead of re-mining (byte-identical output);
 * ``repro load run.npz`` — summarize a store's manifest and sections;
 * ``repro export run.npz --basis dg --out dg.parquet`` — export a
-  stored basis's rule columns as Parquet/Arrow (needs ``pyarrow``).
+  stored basis's rule columns as Parquet/Arrow (needs ``pyarrow``);
+* ``repro serve --store run.npz --port 8000`` — boot the read-only
+  rule-serving daemon over a store (see ``docs/serving.md``).
+
+Every subcommand carries a one-line description and an epilog example;
+the full help output is golden-pinned by ``tests/test_cli_golden.py``.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from collections.abc import Sequence
 
@@ -63,6 +69,38 @@ _EXPERIMENTS = {
 }
 
 
+class _CommandHelpFormatter(argparse.HelpFormatter):
+    """Wrap descriptions normally but keep epilog examples verbatim."""
+
+    def _fill_text(self, text: str, width: int, indent: str) -> str:
+        if text.startswith("example:"):
+            return "".join(indent + line for line in text.splitlines(keepends=True))
+        return super()._fill_text(text, width, indent)
+
+
+def _add_command(
+    subparsers,
+    name: str,
+    help_text: str,
+    description: str,
+    example: str,
+) -> argparse.ArgumentParser:
+    """Register one subcommand with a description and an epilog example.
+
+    Keeps the ``repro <verb> --help`` surface uniform: every verb shows
+    the same one-line summary in the top-level listing (*help_text*), a
+    fuller *description* on its own help page and a copy-pasteable
+    *example* invocation as the epilog.
+    """
+    return subparsers.add_parser(
+        name,
+        help=help_text,
+        description=description,
+        epilog=f"example:\n  {example}",
+        formatter_class=_CommandHelpFormatter,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -72,15 +110,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    stats = subparsers.add_parser(
-        "stats", help="print the characteristics of the benchmark datasets"
+    stats = _add_command(
+        subparsers,
+        "stats",
+        help_text="print the characteristics of the benchmark datasets",
+        description="Print objects/items/density characteristics of the "
+        "benchmark-scale datasets (paper table T1).",
+        example="repro stats --smoke",
     )
     stats.add_argument(
         "--smoke", action="store_true", help="use the tiny smoke-test datasets"
     )
 
-    mine = subparsers.add_parser(
-        "mine", help="mine the frequent closed itemsets of a basket file"
+    mine = _add_command(
+        subparsers,
+        "mine",
+        help_text="mine the frequent closed itemsets of a basket file",
+        description="Run the Close miner on a basket file and print the "
+        "frequent closed itemsets with their supports.",
+        example="repro mine --dataset my.basket --minsup 0.3",
     )
     mine.add_argument("--dataset", required=True, help="path to a basket-format file")
     mine.add_argument("--minsup", type=float, default=0.1, help="relative minsup")
@@ -94,8 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="closure engine backend (default: per-miner default)",
     )
 
-    bases = subparsers.add_parser(
-        "bases", help="mine a basket file (or load a store) and print the rule bases"
+    bases = _add_command(
+        subparsers,
+        "bases",
+        help_text="mine a basket file (or load a store) and print the rule bases",
+        description="Build any selection of the registered rule bases — from "
+        "a fresh mining run (--dataset) or warm-started from an artifact "
+        "store (--from-store) — and print the rules plus the reduction "
+        "report.",
+        example="repro bases --dataset my.basket --minsup 0.3 --minconf 0.7",
     )
     bases.add_argument(
         "--dataset",
@@ -151,14 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
         "peak-memory knob, output is identical)",
     )
 
-    subparsers.add_parser(
-        "list-bases", help="list the registered rule bases and their descriptions"
+    _add_command(
+        subparsers,
+        "list-bases",
+        help_text="list the registered rule bases and their descriptions",
+        description="List every registered rule basis with its kind and a "
+        "one-line description of the construction.",
+        example="repro list-bases",
     )
 
-    save = subparsers.add_parser(
+    save = _add_command(
+        subparsers,
         "save",
-        help="mine a basket file and persist context, families, lattice "
+        help_text="mine a basket file and persist context, families, lattice "
         "order core and rule columns to an NPZ artifact store",
+        description="Mine a basket file once and persist everything the run "
+        "produced — context, frequent/closed families, generators, packed "
+        "lattice order core and per-basis rule columns — to a versioned NPZ "
+        "artifact store (see docs/store-format.md).",
+        example="repro save --dataset my.basket --minsup 0.05 --out run.npz",
     )
     save.add_argument("--dataset", required=True, help="path to a basket-format file")
     save.add_argument("--out", required=True, help="path of the .npz store to write")
@@ -189,15 +255,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit the raw transaction context from the store",
     )
 
-    load = subparsers.add_parser(
-        "load", help="summarize an artifact store's manifest and sections"
+    load = _add_command(
+        subparsers,
+        "load",
+        help_text="summarize an artifact store's manifest and sections",
+        description="Read an artifact store's manifest and print the dataset "
+        "identity, stored sections and per-basis rule counts.",
+        example="repro load run.npz",
     )
     load.add_argument("store", help="path of a `repro save` .npz container")
 
-    export = subparsers.add_parser(
+    export = _add_command(
+        subparsers,
         "export",
-        help="export a stored basis's rule columns as Parquet/Arrow "
+        help_text="export a stored basis's rule columns as Parquet/Arrow "
         "(requires the optional pyarrow package)",
+        description="Stream one stored basis's rule columns out as a "
+        "Parquet or Feather table (list<string> sides + numeric statistics); "
+        "needs the optional pyarrow package.",
+        example="repro export run.npz --basis dg --out dg.parquet",
     )
     export.add_argument("store", help="path of a `repro save` .npz container")
     export.add_argument("--out", required=True, help="output file path")
@@ -214,8 +290,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: inferred from the --out suffix)",
     )
 
-    experiment = subparsers.add_parser(
-        "experiment", help="regenerate one of the paper tables / figures"
+    serve = _add_command(
+        subparsers,
+        "serve",
+        help_text="serve a store read-only over HTTP/JSON (mine once, "
+        "serve many)",
+        description="Boot the long-lived read-only rule-serving daemon over "
+        "an artifact store: GET /healthz, /bases, /bases/<name>/rules and "
+        "/metrics plus POST /derive, with an LRU answer cache and SIGHUP/"
+        "mtime-triggered store reloads (see docs/serving.md).",
+        example="repro serve --store run.npz --port 8000",
+    )
+    serve.add_argument(
+        "--store", required=True, help="path of a `repro save` .npz container"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default: loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port to bind (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="LRU answer-cache capacity in entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--no-watch",
+        action="store_true",
+        help="do not reload automatically when the store file is replaced "
+        "(SIGHUP still reloads)",
+    )
+    serve.add_argument(
+        "--log-requests",
+        action="store_true",
+        help="log one line per request to stderr (default: metrics only)",
+    )
+
+    experiment = _add_command(
+        subparsers,
+        "experiment",
+        help_text="regenerate one of the paper tables / figures",
+        description="Regenerate one of the paper's tables (T1-T6), runtime "
+        "figures (F1-F3) or ablations (A1-A2) on the benchmark-scale "
+        "datasets.",
+        example="repro experiment T5 --smoke",
     )
     experiment.add_argument(
         "id", choices=sorted(_EXPERIMENTS), help="experiment identifier (see DESIGN.md)"
@@ -423,6 +544,39 @@ def _command_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from ..serve import RuleServer, ServeApp
+
+    app = ServeApp(
+        args.store, cache_size=args.cache_size, watch=not args.no_watch
+    )
+    server = RuleServer(
+        (args.host, args.port), app, log_requests=args.log_requests
+    )
+    if hasattr(signal, "SIGHUP"):
+        try:
+            signal.signal(signal.SIGHUP, lambda *_: app.request_reload())
+        except ValueError:  # pragma: no cover - not in the main thread
+            pass
+    loaded = app.loaded
+    host, port = server.server_address[:2]
+    print(f"serving {loaded.name} ({args.store}) on http://{host}:{port}")
+    print(
+        f"  bases: {', '.join(sorted(loaded.bases)) or '(none)'}; "
+        f"derivation: "
+        f"{'ready' if loaded.derivation is not None else 'unavailable'}"
+    )
+    print("  endpoints: /healthz /bases /bases/<name>/rules /derive /metrics")
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _command_list_bases(args: argparse.Namespace) -> int:
     for name, description in available_bases().items():
         kind = get_basis(name).kind
@@ -451,6 +605,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "save": _command_save,
         "load": _command_load,
         "export": _command_export,
+        "serve": _command_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,50 @@
+"""Read-only rule-serving daemon over the artifact store.
+
+The serve-many half of the mine-once/serve-many pipeline: ``repro
+serve --store run.npz --port 8000`` loads a :mod:`repro.store`
+container once and answers concurrent HTTP/JSON queries against the
+immutable snapshot — basis listings with statistics, filtered and
+paginated rule pages straight off the columnar
+:class:`~repro.core.rulearrays.RuleArrays`, and derivability checks of
+arbitrary candidate rules through
+:class:`~repro.core.derivation.BasisDerivation` (the paper's central
+claim, as an endpoint).
+
+Layering:
+
+* :mod:`repro.serve.app` — transport-free request handling over an
+  atomically swappable :class:`~repro.serve.app.LoadedStore` snapshot
+  (SIGHUP / mtime-triggered reloads, per-store LRU answer cache,
+  latency/QPS/cache counters);
+* :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` glue
+  plus :func:`~repro.serve.http.serve_in_thread` for embedding a live
+  daemon in tests and examples;
+* :mod:`repro.serve.cache` — the bounded thread-safe LRU cache.
+
+The HTTP API is documented endpoint by endpoint in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+from .app import (
+    DEFAULT_CACHE_SIZE,
+    MAX_PAGE_LIMIT,
+    ApiError,
+    LoadedStore,
+    ServeApp,
+    ServedBasis,
+)
+from .cache import LRUCache
+from .http import RuleServer, serve_in_thread
+
+__all__ = [
+    "ApiError",
+    "DEFAULT_CACHE_SIZE",
+    "LoadedStore",
+    "LRUCache",
+    "MAX_PAGE_LIMIT",
+    "RuleServer",
+    "ServeApp",
+    "ServedBasis",
+    "serve_in_thread",
+]

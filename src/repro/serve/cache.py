@@ -1,0 +1,123 @@
+"""Bounded, thread-safe LRU cache for canonicalized query answers.
+
+The serving daemon answers many identical queries (the same rule page,
+the same derivation candidate) against an immutable store snapshot, so a
+small per-process answer cache converts the hot part of the query mix
+into dictionary lookups.  Keys are canonicalized query identities built
+by :mod:`repro.serve.app` (and always include the loaded store's
+generation, so a reload can never serve a stale answer); values are the
+fully rendered response payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from ..errors import InvalidParameterError
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded least-recently-used mapping with hit/miss accounting.
+
+    Parameters
+    ----------
+    capacity : int
+        Maximum number of cached entries; inserting beyond it evicts the
+        least recently used entry.  ``0`` disables caching entirely
+        (every lookup is a miss and nothing is stored).
+
+    Notes
+    -----
+    All operations take an internal lock, so one instance can be shared
+    by every request-handler thread of the daemon.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        capacity = int(capacity)
+        if capacity < 0:
+            raise InvalidParameterError(
+                f"cache capacity must be >= 0, got {capacity}"
+            )
+        self._capacity = capacity
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """The maximum number of entries the cache may hold."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        """Return the current number of cached entries."""
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Hashable) -> tuple[bool, object]:
+        """Look *key* up and record the hit or miss.
+
+        Parameters
+        ----------
+        key : Hashable
+            Canonicalized query identity.
+
+        Returns
+        -------
+        tuple[bool, object]
+            ``(True, value)`` on a hit — the entry is promoted to most
+            recently used — or ``(False, None)`` on a miss.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return True, self._entries[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Store *value* under *key*, evicting the LRU entry when full.
+
+        Parameters
+        ----------
+        key : Hashable
+            Canonicalized query identity.
+        value : object
+            The rendered answer to cache.  Values must be treated as
+            immutable by callers — the same object is handed to every
+            future hit.
+        """
+        if self._capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Return the cache counters as a JSON-ready mapping.
+
+        Returns
+        -------
+        dict[str, int]
+            ``hits``, ``misses``, ``size`` (current entries) and
+            ``capacity``.
+        """
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._entries),
+                "capacity": self._capacity,
+            }

@@ -1,0 +1,161 @@
+"""The stdlib HTTP transport of the rule-serving daemon.
+
+One thin layer over :class:`http.server.ThreadingHTTPServer`: each
+request thread parses the URL/body, hands the parsed request to the
+shared :class:`~repro.serve.app.ServeApp` and writes the JSON answer
+back with a correct ``Content-Length`` (keep-alive friendly).  No
+third-party web framework, no new runtime dependencies — the daemon
+serves read-only queries over an immutable snapshot, which is exactly
+the workload ``ThreadingHTTPServer`` handles well.
+
+Use :func:`serve_in_thread` to embed a live daemon in tests, examples
+and benchmarks; the ``repro serve`` CLI verb wraps :class:`RuleServer`
+with SIGHUP-triggered reloads for foreground use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .app import ServeApp
+
+__all__ = ["RuleServer", "serve_in_thread"]
+
+#: Upper bound on accepted request bodies (``POST /derive`` payloads are
+#: tiny; anything larger is rejected before being read into memory).
+MAX_BODY_BYTES = 1 << 20
+
+
+class RuleServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one :class:`ServeApp`.
+
+    Parameters
+    ----------
+    address : tuple[str, int]
+        ``(host, port)`` to bind; port ``0`` picks an ephemeral port
+        (read it back from :attr:`server_address`).
+    app : ServeApp
+        The shared application answering every request.
+    log_requests : bool
+        Whether to emit the default per-request stderr log lines
+        (silent by default — the daemon's own metrics endpoint is the
+        observability surface).
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        app: ServeApp,
+        log_requests: bool = False,
+    ) -> None:
+        self.app = app
+        self.log_requests = bool(log_requests)
+        super().__init__(address, _RequestHandler)
+
+    @property
+    def url(self) -> str:
+        """The base URL the server is reachable at."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Per-request glue: parse, dispatch to the app, write JSON back."""
+
+    server: RuleServer
+    protocol_version = "HTTP/1.1"
+    # The unbuffered wfile writes status line, headers and body as
+    # separate segments; without TCP_NODELAY every keep-alive response
+    # stalls ~40ms on Nagle vs delayed-ACK.
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        """Dispatch a GET request."""
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        """Dispatch a POST request."""
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        """Parse the request, run the app handler, write the response."""
+        parsed = urlsplit(self.path)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(
+                parsed.query, keep_blank_values=True
+            ).items()
+        }
+        body: bytes | None = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._write(413, {
+                "error": {
+                    "code": "payload_too_large",
+                    "message": f"request body exceeds {MAX_BODY_BYTES} bytes",
+                }
+            })
+            return
+        if length:
+            body = self.rfile.read(length)
+        try:
+            status, payload = self.server.app.handle(
+                method, parsed.path, params, body
+            )
+        except Exception as exc:  # pragma: no cover - defensive belt
+            status, payload = 500, {
+                "error": {"code": "internal_error", "message": repr(exc)}
+            }
+        self._write(status, payload)
+
+    def _write(self, status: int, payload: dict) -> None:
+        """Serialize *payload* as JSON and write a complete response."""
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json; charset=utf-8")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response; nothing to salvage
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request logging unless the server asked for it."""
+        if self.server.log_requests:
+            super().log_message(format, *args)
+
+
+def serve_in_thread(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 0
+) -> tuple[RuleServer, threading.Thread]:
+    """Start a daemon-threaded :class:`RuleServer` and return it.
+
+    Parameters
+    ----------
+    app : ServeApp
+        The application to serve.
+    host : str
+        Interface to bind (loopback by default).
+    port : int
+        TCP port; ``0`` (the default) picks a free ephemeral port.
+
+    Returns
+    -------
+    tuple[RuleServer, threading.Thread]
+        The bound server (its :attr:`RuleServer.url` is ready to query)
+        and the daemon thread running ``serve_forever``.  Call
+        ``server.shutdown()`` to stop it.
+    """
+    server = RuleServer((host, port), app)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=True
+    )
+    thread.start()
+    return server, thread

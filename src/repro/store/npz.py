@@ -277,10 +277,31 @@ def save_run(
 ) -> Path:
     """Write one mining run into a versioned ``.npz`` container.
 
-    Every argument is optional; only the supplied sections are written.
-    ``lattice`` must have been built over ``closed`` (the loaded core is
-    re-attached to the loaded family by member index).  Returns the path
-    written.
+    Every section argument is optional; only the supplied sections are
+    written, and the manifest indexes what is present.
+
+    Parameters
+    ----------
+    path : str or Path
+        Destination file (conventionally ``.npz``).
+    database, frequent, closed, generators, lattice : optional
+        The run's sections.  ``lattice`` must have been built over
+        ``closed`` — the loaded order core is re-attached to the loaded
+        family by member index.
+    rule_arrays : mapping of str to RuleArrays, optional
+        One entry per basis to store, keyed by basis name.
+    basis_kinds, basis_metadata : mapping, optional
+        Per-basis registry kind and construction metadata, recorded in
+        the manifest (metadata is JSON-coerced).
+    name, minsup, minconf : optional
+        Run identity recorded in the manifest.
+    extra : mapping, optional
+        Arbitrary caller JSON stored under the manifest's ``extra`` key.
+
+    Returns
+    -------
+    Path
+        The path written.
     """
     path = Path(path)
     payload: dict[str, np.ndarray] = {}
@@ -434,13 +455,30 @@ def load_run(
 ) -> StoredRun:
     """Rehydrate a container written by :func:`save_run`.
 
-    ``sections`` restricts loading to the named sections (dependencies
-    included automatically: generators and the lattice both need the
-    closed family); sections the file does not hold are skipped — use
-    :meth:`StoredRun.require` for a clear error when one is mandatory.
-    ``None`` loads everything the file holds.  The returned lattice
-    wraps the *stored* order core — no containment or
-    transitive-reduction pass runs on load.
+    The returned lattice wraps the *stored* order core — no containment
+    or transitive-reduction pass runs on load.
+
+    Parameters
+    ----------
+    path : str or Path
+        A container written by :func:`save_run`.
+    sections : iterable of str, optional
+        Restrict loading to the named sections (dependencies included
+        automatically: generators and the lattice both need the closed
+        family).  Sections the file does not hold are skipped — use
+        :meth:`StoredRun.require` for a clear error when one is
+        mandatory.  ``None`` loads everything the file holds.
+
+    Returns
+    -------
+    StoredRun
+        One attribute per loaded section; absent sections are ``None``.
+
+    Raises
+    ------
+    StoreFormatError
+        When the file is not a store container or its format name or
+        version does not match this reader.
     """
     path = Path(path)
     with _open_container(path) as data:

@@ -113,3 +113,23 @@ def test_experiment_t6_smoke_output(capsys):
     """The T6 per-basis statistics table (smoke grid), pinned exactly."""
     out = run_cli(capsys, "experiment", "T6", "--smoke")
     check_golden("experiment_t6_smoke.txt", out)
+
+
+def test_help_pages_pinned(capsys, monkeypatch):
+    """Every verb's --help page, pinned in one golden file.
+
+    Catches help drift: a new flag, a reworded description or a lost
+    epilog example shows up as a golden diff.  ``COLUMNS`` is pinned
+    because argparse wraps to the terminal width.
+    """
+    monkeypatch.setenv("COLUMNS", "80")
+    sections = []
+    for verb in (None, "stats", "mine", "bases", "list-bases", "save",
+                 "load", "export", "serve", "experiment"):
+        args = ["--help"] if verb is None else [verb, "--help"]
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(args)
+        assert excinfo.value.code == 0
+        title = "repro --help" if verb is None else f"repro {verb} --help"
+        sections.append(f"$ {title}\n{capsys.readouterr().out}")
+    check_golden("cli_help.txt", "\n".join(sections))
