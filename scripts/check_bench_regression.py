@@ -51,6 +51,14 @@ def load_means(path: Path) -> dict[str, float] | None:
     empty JSON pytest-benchmark leaves behind when a run dies mid-way) —
     a skipped run must not abort the blocking gate, that is exactly the
     flakiness best-of-N exists to absorb.
+
+    Keys are the pytest-benchmark ``fullname`` (module::test[id]), which
+    keeps parametrised variants — e.g. a ``[4workers]`` run next to its
+    ``[serial]`` baseline — distinct.  When an entry carries only a bare
+    ``name`` and that name collides with one already loaded from the
+    same file, the duplicate is suffixed (``name#2``, ``name#3``, …)
+    instead of silently overwriting the earlier mean: two different
+    benchmarks must never alias to one gate entry.
     """
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
@@ -63,6 +71,15 @@ def load_means(path: Path) -> dict[str, float] | None:
         stats = bench.get("stats") or {}
         mean = stats.get("mean")
         if name and isinstance(mean, (int, float)) and mean > 0:
+            if name in means:
+                suffix = 2
+                while f"{name}#{suffix}" in means:
+                    suffix += 1
+                print(
+                    f"note: duplicate benchmark name {name!r} in {path}; "
+                    f"recorded as {name}#{suffix}"
+                )
+                name = f"{name}#{suffix}"
             means[name] = float(mean)
     return means
 

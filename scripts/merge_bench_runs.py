@@ -51,9 +51,19 @@ def load_run(path: Path) -> dict | None:
 
 
 def merge_runs(payloads: list[dict]) -> dict[str, dict[str, float | int]]:
-    """Best-of-N medians/means (and summed rounds) per benchmark fullname."""
+    """Best-of-N medians/means (and summed rounds) per benchmark fullname.
+
+    Within one run file a repeated name (possible when an entry carries
+    only a bare ``name`` — parametrised variants such as ``[serial]`` /
+    ``[4workers]`` collapse onto it) is suffixed ``name#2``, ``name#3``,
+    … in encounter order instead of overwriting: benchmark order is
+    stable across pytest runs, so the k-th duplicate of every run merges
+    with the k-th duplicate of the others, never with a different
+    benchmark.
+    """
     merged: dict[str, dict[str, float | int]] = {}
     for payload in payloads:
+        seen: set[str] = set()
         for bench in payload.get("benchmarks", []):
             name = bench.get("fullname") or bench.get("name")
             stats = bench.get("stats") or {}
@@ -61,6 +71,12 @@ def merge_runs(payloads: list[dict]) -> dict[str, dict[str, float | int]]:
             mean = stats.get("mean")
             if not name or not isinstance(median, (int, float)) or median <= 0:
                 continue
+            if name in seen:
+                suffix = 2
+                while f"{name}#{suffix}" in seen:
+                    suffix += 1
+                name = f"{name}#{suffix}"
+            seen.add(name)
             entry = merged.setdefault(
                 name, {"median": float("inf"), "mean": float("inf"), "rounds": 0}
             )

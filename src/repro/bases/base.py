@@ -68,6 +68,12 @@ class BasisContext:
         an explicit positive integer forces that block size.  Streamed
         and one-shot builds are byte-identical, so this is purely a
         peak-memory knob.
+    workers:
+        Worker count for the sharded kernels (shared lattice
+        construction and the streamed rule emitters); ``None`` defers to
+        the ``REPRO_NUM_WORKERS`` environment variable, else serial, and
+        ``0`` means all cores.  Every basis built from the context is
+        byte-identical for any worker count — purely a wall-clock knob.
     """
 
     closed: ClosedItemsetFamily
@@ -79,6 +85,7 @@ class BasisContext:
     )
     lattice_strategy: str = "auto"
     block_rows: int | None = None
+    workers: int | None = None
     _lattice: IcebergLattice | None = field(
         default=None, repr=False, compare=False
     )
@@ -99,7 +106,7 @@ class BasisContext:
         """The iceberg lattice of the closed family, built once and shared."""
         if self._lattice is None:
             self._lattice = IcebergLattice(
-                self.closed, strategy=self.lattice_strategy
+                self.closed, strategy=self.lattice_strategy, workers=self.workers
             )
         return self._lattice
 

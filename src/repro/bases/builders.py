@@ -126,6 +126,7 @@ class LuxenburgerFullBasis:
             transitive_reduction=False,
             lattice=context.lattice,
             block_rows=context.block_rows,
+            workers=context.workers,
         )
         return BuiltBasis(
             name=self.name,
@@ -151,6 +152,7 @@ class LuxenburgerReducedBasis:
             transitive_reduction=True,
             lattice=context.lattice,
             block_rows=context.block_rows,
+            workers=context.workers,
         )
         return BuiltBasis(
             name=self.name,
@@ -195,6 +197,7 @@ class InformativeFullBasis:
             reduced=False,
             lattice=context.lattice,
             block_rows=context.block_rows,
+            workers=context.workers,
         )
         return BuiltBasis(
             name=self.name,
@@ -220,6 +223,7 @@ class InformativeReducedBasis:
             reduced=True,
             lattice=context.lattice,
             block_rows=context.block_rows,
+            workers=context.workers,
         )
         return BuiltBasis(
             name=self.name,

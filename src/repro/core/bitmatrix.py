@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .parallel import KernelExecutor, get_executor
+
 __all__ = [
     "BitMatrix",
     "packed_containment",
@@ -48,6 +50,14 @@ WORD_BITS = 64
 #: as its dense working-set budget too, so one constant bounds both
 #: constructions.
 _BLOCK_CELLS = 1 << 24
+
+#: Row cap per containment shard.  The cell budget alone lets a narrow
+#: column suffix (the common case after level-wise pruning: most rows
+#: only test against a thin top layer) collapse into one giant task,
+#: which would starve a multi-worker executor; capping the rows keeps
+#: enough shards to spread while staying far above the per-task
+#: scheduling overhead.
+_MAX_SHARD_ROWS = 1 << 14
 
 
 def _words_for(n_cols: int) -> int:
@@ -299,6 +309,67 @@ class BitMatrix:
     # ------------------------------------------------------------------
     # Blocked boolean matrix product
     # ------------------------------------------------------------------
+    def _gather_or_bounds(
+        self, counts: np.ndarray, other: "BitMatrix"
+    ) -> list[tuple[int, int]]:
+        """Row-span boundaries of the blocked ``self @ other`` product.
+
+        A pure function of the selector row popcounts: each span bounds
+        both the result rows it holds and the operand rows it will gather
+        (the working-set budget), so the spans — and therefore the block
+        decomposition — are identical whatever executor later runs them.
+        """
+        # Two budgets, both in words: how many operand rows one block may
+        # gather at a time, and how many result rows it may hold.
+        gather_budget = max(1, _BLOCK_CELLS // max(1, other.n_words))
+        row_cap = max(1, _BLOCK_CELLS // max(8, 8 * other.n_words))
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        n_rows = self.n_rows
+        while start < n_rows:
+            stop = start + 1
+            gathered_rows = int(counts[start])
+            while (
+                stop < n_rows
+                and stop - start < row_cap
+                and gathered_rows + int(counts[stop]) <= gather_budget
+            ):
+                gathered_rows += int(counts[stop])
+                stop += 1
+            bounds.append((start, stop))
+            start = stop
+        return bounds
+
+    def _gather_or_reach(
+        self, other: "BitMatrix", counts: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """One row span of ``self @ other``: the OR-reduction of the
+        operand rows selected by each selector row in ``[start, stop)``.
+
+        Independent of every other span (reads shared inputs, returns a
+        fresh array), which is what makes the block loop shardable.
+        """
+        gather_budget = max(1, _BLOCK_CELLS // max(1, other.n_words))
+        gathered_rows = int(counts[start:stop].sum())
+        reach = np.zeros((stop - start, other.n_words), dtype=np.uint64)
+        if gathered_rows > gather_budget:
+            # A single row wider than the whole budget: OR its selected
+            # operand rows in bounded chunks instead of one oversized
+            # gather.
+            selected = _packed_nonzero(self.words[start:stop])[1]
+            for chunk_start in range(0, selected.size, gather_budget):
+                chunk = selected[chunk_start : chunk_start + gather_budget]
+                reach[0] |= np.bitwise_or.reduce(other.words[chunk], axis=0)
+        elif gathered_rows:
+            block_rows, selected = _packed_nonzero(self.words[start:stop])
+            gathered = other.words[selected]
+            block_counts = np.bincount(block_rows, minlength=stop - start)
+            nonempty = np.nonzero(block_counts)[0]
+            offsets = np.zeros(len(nonempty), dtype=np.intp)
+            np.cumsum(block_counts[nonempty[:-1]], out=offsets[1:])
+            reach[nonempty] = np.bitwise_or.reduceat(gathered, offsets, axis=0)
+        return reach
+
     def _gather_or_blocks(self, other: "BitMatrix"):
         """Yield ``(start, stop, reach_words)`` blocks of ``self @ other``.
 
@@ -315,56 +386,41 @@ class BitMatrix:
                 "dimensions differ"
             )
         counts = self.row_counts()
-        # Two budgets, both in words: how many operand rows one block may
-        # gather at a time, and how many result rows it may hold.
-        gather_budget = max(1, _BLOCK_CELLS // max(1, other.n_words))
-        row_cap = max(1, _BLOCK_CELLS // max(8, 8 * other.n_words))
-        start = 0
-        n_rows = self.n_rows
-        while start < n_rows:
-            stop = start + 1
-            gathered_rows = int(counts[start])
-            while (
-                stop < n_rows
-                and stop - start < row_cap
-                and gathered_rows + int(counts[stop]) <= gather_budget
-            ):
-                gathered_rows += int(counts[stop])
-                stop += 1
-            reach = np.zeros((stop - start, other.n_words), dtype=np.uint64)
-            if gathered_rows > gather_budget:
-                # A single row wider than the whole budget: OR its
-                # selected operand rows in bounded chunks instead of one
-                # oversized gather.
-                selected = _packed_nonzero(self.words[start:stop])[1]
-                for chunk_start in range(0, selected.size, gather_budget):
-                    chunk = selected[chunk_start : chunk_start + gather_budget]
-                    reach[0] |= np.bitwise_or.reduce(other.words[chunk], axis=0)
-            elif gathered_rows:
-                block_rows, selected = _packed_nonzero(self.words[start:stop])
-                gathered = other.words[selected]
-                block_counts = np.bincount(block_rows, minlength=stop - start)
-                nonempty = np.nonzero(block_counts)[0]
-                offsets = np.zeros(len(nonempty), dtype=np.intp)
-                np.cumsum(block_counts[nonempty[:-1]], out=offsets[1:])
-                reach[nonempty] = np.bitwise_or.reduceat(gathered, offsets, axis=0)
-            yield start, stop, reach
-            start = stop
+        for start, stop in self._gather_or_bounds(counts, other):
+            yield start, stop, self._gather_or_reach(other, counts, start, stop)
 
-    def bool_matmul(self, other: "BitMatrix") -> "BitMatrix":
+    def bool_matmul(
+        self, other: "BitMatrix", executor: "KernelExecutor | None" = None
+    ) -> "BitMatrix":
         """Boolean matrix product ``self @ other``, fully packed.
 
         ``result[i, j]`` is true iff some ``k`` has ``self[i, k]`` and
         ``other[k, j]``.  Runs as a blocked gather/OR-reduce over packed
         rows, so the working set beyond the packed result is bounded.
+        The independent row spans are sharded across *executor* (serial
+        by default); every span writes a disjoint result slice, so the
+        output is byte-identical for any worker count.
         """
+        if self.n_cols != other.n_rows:
+            raise ValueError(
+                f"cannot multiply {self.shape} by {other.shape}: inner "
+                "dimensions differ"
+            )
+        executor = get_executor(executor)
+        counts = self.row_counts()
         result = np.zeros((self.n_rows, other.n_words), dtype=np.uint64)
-        for start, stop, reach in self._gather_or_blocks(other):
-            result[start:stop] = reach
+
+        def compute(span: tuple[int, int]) -> None:
+            start, stop = span
+            result[start:stop] = self._gather_or_reach(other, counts, start, stop)
+
+        executor.map(compute, self._gather_or_bounds(counts, other))
         return BitMatrix(result, other.n_cols)
 
 
-def packed_containment(masks: np.ndarray) -> BitMatrix:
+def packed_containment(
+    masks: np.ndarray, executor: "KernelExecutor | None" = None
+) -> BitMatrix:
     """Strict-containment relation of packed itemset masks, as a BitMatrix.
 
     The packed equivalent of
@@ -377,6 +433,12 @@ def packed_containment(masks: np.ndarray) -> BitMatrix:
     back to the full pair scan.  Either way only ``O(block x n)`` bool
     temporaries exist at a time and the result is written straight into
     packed words.
+
+    The (size-group × row-block) loops are flattened into one shard list
+    and spread across *executor* (serial by default).  Each shard keeps
+    its group's column suffix — the level-wise pruning happens *before*
+    the popcount work is scheduled — and writes a disjoint row slice of
+    the packed result, so any worker count is byte-identical to serial.
     """
     masks = np.ascontiguousarray(masks, dtype=np.uint64)
     n, n_mask_words = masks.shape
@@ -387,11 +449,24 @@ def packed_containment(masks: np.ndarray) -> BitMatrix:
         # Every row is the empty set; distinct-rows contract means n <= 1
         # and there is nothing to contain either way.
         return result
+    executor = get_executor(executor)
     sizes = np.bitwise_count(masks).sum(axis=1, dtype=np.int64)
     size_sorted = bool(np.all(sizes[:-1] <= sizes[1:]))
     groups = _size_groups(sizes) if size_sorted else [(0, n, 0)]
+    shards: list[tuple[int, int, int]] = []
     for row_start, row_stop, col_start in groups:
-        _containment_block(masks, result, row_start, row_stop, col_start)
+        n_cols = n - col_start
+        if n_cols <= 0:
+            continue
+        block = max(1, min(_BLOCK_CELLS // max(1, n_cols), _MAX_SHARD_ROWS))
+        for start in range(row_start, row_stop, block):
+            shards.append((start, min(start + block, row_stop), col_start))
+
+    def compute(shard: tuple[int, int, int]) -> None:
+        start, stop, col_start = shard
+        _containment_block(masks, result, start, stop, col_start)
+
+    executor.map(compute, shards)
     if not size_sorted:
         result.clear_diagonal()
     return result
@@ -425,9 +500,10 @@ def _containment_block(
 ) -> None:
     """Subset-test rows ``[row_start, row_stop)`` against columns ``>= col_start``.
 
-    Writes packed words in place, only touching the word range the column
-    suffix occupies, so the untouched prefix of a heavily pruned row
-    costs nothing.
+    One independent shard of :func:`packed_containment`: reads shared
+    inputs, writes only its own packed row slice (and only the word range
+    the column suffix occupies), so shards compose — in any execution
+    order — to exactly the sequential result.
     """
     n = masks.shape[0]
     n_cols = n - col_start
@@ -438,19 +514,21 @@ def _containment_block(
     word_start = col_start >> 6
     bit_start = word_start << 6
     n_mask_words = masks.shape[1]
-    block = max(1, _BLOCK_CELLS // max(1, n_cols))
-    for start in range(row_start, row_stop, block):
-        rows = masks[start : min(start + block, row_stop)]
-        subset = np.ones((rows.shape[0], n_cols), dtype=bool)
-        for word in range(n_mask_words):
-            column = rows[:, word][:, None]
-            subset &= (column & masks[None, col_start:, word]) == column
-        padded = np.zeros((rows.shape[0], n - bit_start), dtype=bool)
-        padded[:, col_start - bit_start :] = subset
-        result.words[start : start + rows.shape[0], word_start:] = _pack_rows(padded)
+    rows = masks[row_start:row_stop]
+    subset = np.ones((rows.shape[0], n_cols), dtype=bool)
+    for word in range(n_mask_words):
+        column = rows[:, word][:, None]
+        subset &= (column & masks[None, col_start:, word]) == column
+    padded = np.zeros((rows.shape[0], n - bit_start), dtype=bool)
+    padded[:, col_start - bit_start :] = subset
+    result.words[row_start : row_start + rows.shape[0], word_start:] = _pack_rows(
+        padded
+    )
 
 
-def packed_hasse_reduction(proper: BitMatrix) -> BitMatrix:
+def packed_hasse_reduction(
+    proper: BitMatrix, executor: "KernelExecutor | None" = None
+) -> BitMatrix:
     """Transitive reduction of a packed strict order: ``proper & ~(proper @ proper)``.
 
     The packed equivalent of :func:`repro.core.order.hasse_reduction`:
@@ -458,14 +536,24 @@ def packed_hasse_reduction(proper: BitMatrix) -> BitMatrix:
     two-step relation is evaluated block by block through the packed
     gather/OR-reduce product and fused with the AND-NOT, so besides the
     packed result only one bounded block of words is live at a time.
+    The independent row spans are sharded across *executor* (serial by
+    default) with disjoint output slices — byte-identical to the serial
+    pass for any worker count.
     """
     n = proper.n_rows
     if proper.n_cols != n:
         raise ValueError(f"order relation must be square, got {proper.shape}")
+    executor = get_executor(executor)
+    counts = proper.row_counts()
     # np.zeros (calloc) over np.zeros_like, which memsets eagerly — the
-    # loop below overwrites every row block anyway, so each page should
+    # spans below overwrite every row block anyway, so each page should
     # be written once, not twice.
     hasse = np.zeros(proper.words.shape, dtype=np.uint64)
-    for start, stop, reach in proper._gather_or_blocks(proper):
+
+    def compute(span: tuple[int, int]) -> None:
+        start, stop = span
+        reach = proper._gather_or_reach(proper, counts, start, stop)
         hasse[start:stop] = proper.words[start:stop] & ~reach
+
+    executor.map(compute, proper._gather_or_bounds(counts, proper))
     return BitMatrix(hasse, n)

@@ -18,6 +18,7 @@ property-based tests.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -186,6 +187,12 @@ class ClosedItemsetFamily(ItemsetFamily):
     #: Lazily built packed-containment index (see :meth:`_closure_lookup`).
     _closure_index: tuple | None = None
 
+    #: Guards the lazy index build: the threaded serve daemon and the
+    #: parallel closure path may fire concurrent first lookups at the
+    #: same family.  Class-wide (the build is cheap and idempotent), so
+    #: no per-instance mutable state is needed before first use.
+    _closure_index_lock = threading.Lock()
+
     def _closure_lookup(self) -> tuple:
         """Size-bucketed packed-containment index over the members.
 
@@ -194,20 +201,26 @@ class ClosedItemsetFamily(ItemsetFamily):
         packed item-mask rows, and the aligned size / support columns.
         A :meth:`closure_of` query then tests one size bucket at a time
         with a vectorised masked compare instead of scanning the whole
-        family per lookup.
+        family per lookup.  Thread-safe: concurrent first lookups build
+        the index under :data:`_closure_index_lock`.
         """
         if self._closure_index is None:
-            from .rulearrays import pack_itemsets_into, sorted_universe
+            with self._closure_index_lock:
+                if self._closure_index is not None:
+                    return self._closure_index
+                from .rulearrays import pack_itemsets_into, sorted_universe
 
-            members = sorted(self._supports, key=len)  # stable: insertion order kept
-            universe = sorted_universe(item for member in members for item in member)
-            item_position = {item: pos for pos, item in enumerate(universe)}
-            matrix = pack_itemsets_into(members, universe)
-            sizes = np.array([len(member) for member in members], dtype=np.int64)
-            counts = np.array(
-                [self._supports[member] for member in members], dtype=np.int64
-            )
-            self._closure_index = (members, matrix, sizes, counts, item_position)
+                members = sorted(self._supports, key=len)  # stable order kept
+                universe = sorted_universe(
+                    item for member in members for item in member
+                )
+                item_position = {item: pos for pos, item in enumerate(universe)}
+                matrix = pack_itemsets_into(members, universe)
+                sizes = np.array([len(member) for member in members], dtype=np.int64)
+                counts = np.array(
+                    [self._supports[member] for member in members], dtype=np.int64
+                )
+                self._closure_index = (members, matrix, sizes, counts, item_position)
         return self._closure_index
 
     def closure_of(self, itemset: Itemset | Iterable[Item]) -> Itemset | None:

@@ -33,6 +33,7 @@ from .bitmatrix import BitMatrix
 from .constants import EPSILON
 from .generators import GeneratorFamily
 from .lattice import IcebergLattice
+from .parallel import get_executor
 from .rulearrays import (
     RuleArrays,
     pack_itemsets_into,
@@ -154,6 +155,13 @@ class InformativeBasis:
         however many rules the basis holds; any positive integer forces
         that block size.  The streamed build is byte-identical to the
         kept one-shot path (:meth:`_build_arrays_materialized`).
+    workers:
+        Worker count for the sharded block expansion (and the lattice
+        construction when the basis builds its own lattice); ``None``
+        defers to the ``REPRO_NUM_WORKERS`` environment variable, else
+        serial.  Blocks are consumed in submission order with bounded
+        prefetch, so the built basis is byte-identical for any worker
+        count and the streamed-memory bound still holds.
     """
 
     def __init__(
@@ -164,6 +172,7 @@ class InformativeBasis:
         lattice: IcebergLattice | None = None,
         lattice_strategy: str = "auto",
         block_rows: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -176,12 +185,23 @@ class InformativeBasis:
         self._minconf = minconf
         self._reduced = reduced
         self._block_rows = block_rows
+        self._workers = workers
         self._lattice = (
             lattice
             if lattice is not None
-            else IcebergLattice(self._closed, strategy=lattice_strategy)
+            else IcebergLattice(
+                self._closed, strategy=lattice_strategy, workers=workers
+            )
         )
-        self._rules = RuleSet.from_arrays(self._build_arrays())
+        # Rows are unique by construction: the antecedent is the generator
+        # mask and the consequent union the antecedent reconstructs the
+        # ancestor closure (generator <= closure(ancestor)), so distinct
+        # (generator, ancestor) expansion pairs can never collide on the
+        # (antecedent, consequent) key.  Skipping the dedup pass avoids an
+        # O(rules) multiword key sort that dominates rule-dense builds;
+        # the analytic-count and reference-oracle tests would catch any
+        # emitter bug that started producing duplicates.
+        self._rules = RuleSet.from_arrays(self._build_arrays(), assume_unique=True)
 
     def _expansion_arrays(
         self,
@@ -232,63 +252,76 @@ class InformativeBasis:
         )
         total = int(repeats.sum())
         block = resolve_block_rows(self._block_rows, lattice.member_masks().shape[1])
-        return RuleArrays.from_blocks(
-            self._iter_array_blocks(
+        executor = get_executor(self._workers)
+        boundaries = np.cumsum(repeats)
+        starts = boundaries - repeats
+
+        def expand(lo: int) -> RuleArrays:
+            return self._array_block(
+                lo,
+                min(lo + block, total),
                 cols,
                 confidences,
                 gen_matrix,
                 closure_index,
-                repeats,
+                boundaries,
+                starts,
                 offsets,
-                total,
-                block,
-            ),
+            )
+
+        # Ordered imap with bounded prefetch: workers expand blocks ahead
+        # of the consumer while from_blocks writes them in submission
+        # order — byte-identical to the serial stream, still bounded.
+        return RuleArrays.from_blocks(
+            executor.imap(expand, range(0, total, block)),
             universe,
             n_rows=total,
         )
 
-    def _iter_array_blocks(
+    def _array_block(
         self,
+        lo: int,
+        hi: int,
         cols: np.ndarray,
         confidences: np.ndarray,
         gen_matrix: "BitMatrix",
         closure_index: np.ndarray,
-        repeats: np.ndarray,
+        boundaries: np.ndarray,
+        starts: np.ndarray,
         offsets: np.ndarray,
-        total: int,
-        block_rows: int,
-    ):
-        """Yield the expanded basis columns as bounded ``RuleArrays`` blocks."""
+    ) -> RuleArrays:
+        """One bounded block ``[lo, hi)`` of the expanded basis columns.
+
+        Reads only shared immutable inputs, so blocks can be expanded on
+        any worker in any order; the consumer reassembles them by
+        submission order.
+        """
         lattice = self._lattice
         universe = lattice.item_universe
         masks = lattice.member_masks()
         counts = lattice.support_counts()
         n_objects = self._closed.n_objects
-        boundaries = np.cumsum(repeats)
-        starts = boundaries - repeats
-        for lo in range(0, total, block_rows):
-            hi = min(lo + block_rows, total)
-            flat = np.arange(lo, hi)
-            generator_rows = np.searchsorted(boundaries, flat, side="right")
-            within = flat - starts[generator_rows]
-            pair_positions = offsets[closure_index[generator_rows]] + within
-            targets = cols[pair_positions]
-            antecedents = gen_matrix.words[generator_rows]
-            consequents = masks[targets] & ~antecedents
-            support_counts = counts[targets]
-            arrays = RuleArrays(
-                BitMatrix(antecedents, len(universe)),
-                BitMatrix(consequents, len(universe)),
-                universe,
-                relative_supports(support_counts, n_objects),
-                confidences[pair_positions],
-                support_counts,
-            )
-            # target ⊃ closure ⊇ generator makes an empty consequent
-            # impossible for well-formed input; the guard mirrors the
-            # object pipeline's defence against malformed families.
-            keep = np.any(consequents != 0, axis=1)
-            yield arrays if bool(keep.all()) else arrays.select(keep)
+        flat = np.arange(lo, hi)
+        generator_rows = np.searchsorted(boundaries, flat, side="right")
+        within = flat - starts[generator_rows]
+        pair_positions = offsets[closure_index[generator_rows]] + within
+        targets = cols[pair_positions]
+        antecedents = gen_matrix.words[generator_rows]
+        consequents = masks[targets] & ~antecedents
+        support_counts = counts[targets]
+        arrays = RuleArrays(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            relative_supports(support_counts, n_objects),
+            confidences[pair_positions],
+            support_counts,
+        )
+        # target ⊃ closure ⊇ generator makes an empty consequent
+        # impossible for well-formed input; the guard mirrors the
+        # object pipeline's defence against malformed families.
+        keep = np.any(consequents != 0, axis=1)
+        return arrays if bool(keep.all()) else arrays.select(keep)
 
     def _build_arrays_materialized(self) -> RuleArrays:
         """The pre-streaming one-shot CSR expansion (oracle for tests).

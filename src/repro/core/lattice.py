@@ -114,6 +114,17 @@ class IcebergLattice:
         a persisted lattice.  The core must have been built for exactly
         this family's members in canonical order (``closed.itemsets()``);
         a node-count mismatch raises.
+    workers:
+        Worker count for the sharded construction kernels of the packed
+        core (``None`` = the ``REPRO_NUM_WORKERS`` environment variable,
+        else serial; ``0`` = all cores).  The built lattice is
+        byte-identical for any worker count; ignored when *order_core*
+        is given or a non-packed strategy resolves.
+    retain_containment:
+        When ``False`` the packed core drops the ``n**2 / 8``-byte
+        containment words after extracting the Hasse edges and answers
+        containment queries by mask probing — the memory-lean mode of
+        query-only consumers such as ``repro serve``.
 
     Examples
     --------
@@ -132,6 +143,8 @@ class IcebergLattice:
         closed: ClosedItemsetFamily,
         strategy: str = "auto",
         order_core: "OrderCore | None" = None,
+        workers: int | None = None,
+        retain_containment: bool = True,
     ) -> None:
         self._closed = closed
         members = closed.itemsets()
@@ -170,7 +183,13 @@ class IcebergLattice:
                         [self._index[larger] for _, larger in edges], dtype=np.int64
                     ),
                 )
-            self._core = build_order_core(masks, self._strategy, reference_edges)
+            self._core = build_order_core(
+                masks,
+                self._strategy,
+                reference_edges,
+                workers=workers,
+                retain_containment=retain_containment,
+            )
         self._hasse_rows, self._hasse_cols = self._core.hasse_indices()
         # The index/support arrays are handed out to the basis
         # constructions; freeze them so a consumer cannot corrupt the

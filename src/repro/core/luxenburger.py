@@ -36,6 +36,7 @@ from .bitmatrix import BitMatrix
 from .families import ClosedItemsetFamily
 from .itemset import Itemset
 from .lattice import IcebergLattice
+from .parallel import get_executor
 from .rulearrays import RuleArrays, relative_supports, resolve_block_rows
 from .rules import AssociationRule, RuleSet
 
@@ -74,6 +75,13 @@ class LuxenburgerBasis:
         however many rules the basis holds; any positive integer forces
         that block size.  The streamed build is byte-identical to the
         kept one-shot path (:meth:`_build_arrays_materialized`).
+    workers:
+        Worker count for the sharded block assembly (and the lattice
+        construction when the basis builds its own lattice); ``None``
+        defers to the ``REPRO_NUM_WORKERS`` environment variable, else
+        serial.  Blocks are consumed in submission order with bounded
+        prefetch, so the built basis is byte-identical for any worker
+        count and the streamed-memory bound still holds.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class LuxenburgerBasis:
         lattice: IcebergLattice | None = None,
         lattice_strategy: str = "auto",
         block_rows: int | None = None,
+        workers: int | None = None,
     ) -> None:
         if not 0.0 <= minconf <= 1.0:
             raise InvalidParameterError(f"minconf must lie in [0, 1], got {minconf}")
@@ -95,12 +104,18 @@ class LuxenburgerBasis:
         self._minconf = minconf
         self._reduced = transitive_reduction
         self._block_rows = block_rows
+        self._workers = workers
         self._lattice = (
             lattice
             if lattice is not None
-            else IcebergLattice(closed, strategy=lattice_strategy)
+            else IcebergLattice(closed, strategy=lattice_strategy, workers=workers)
         )
-        self._rules = RuleSet.from_arrays(self._build_arrays())
+        # Rows are unique by construction: the antecedent is a closed
+        # member's mask and the consequent union the antecedent is the
+        # ancestor closure, so distinct (member, ancestor) order pairs
+        # can never collide on the (antecedent, consequent) key.  See the
+        # matching note in InformativeBasis.__init__.
+        self._rules = RuleSet.from_arrays(self._build_arrays(), assume_unique=True)
 
     # ------------------------------------------------------------------
     # Construction
@@ -121,38 +136,51 @@ class LuxenburgerBasis:
             self._minconf, reduced=self._reduced
         )
         block = resolve_block_rows(self._block_rows, lattice.member_masks().shape[1])
+        executor = get_executor(self._workers)
+
+        def assemble(start: int) -> RuleArrays:
+            return self._array_block(rows, cols, confidences, start, block)
+
+        # Ordered imap with bounded prefetch: workers assemble blocks
+        # ahead of the consumer while from_blocks writes them in
+        # submission order — byte-identical to the serial stream.
         return RuleArrays.from_blocks(
-            self._iter_array_blocks(rows, cols, confidences, block),
+            executor.imap(assemble, range(0, len(rows), block)),
             universe,
             n_rows=len(rows),
         )
 
-    def _iter_array_blocks(
+    def _array_block(
         self,
         rows: np.ndarray,
         cols: np.ndarray,
         confidences: np.ndarray,
+        start: int,
         block_rows: int,
-    ):
-        """Yield the basis columns as bounded ``RuleArrays`` row blocks."""
+    ) -> RuleArrays:
+        """One bounded row block of the basis columns.
+
+        Reads only shared immutable inputs, so blocks can be assembled
+        on any worker in any order; the consumer reassembles them by
+        submission order.
+        """
         lattice = self._lattice
         masks = lattice.member_masks()
         universe = lattice.item_universe
         counts = lattice.support_counts()
         n_objects = self._closed.n_objects
-        for start in range(0, len(rows), block_rows):
-            sl = slice(start, start + block_rows)
-            antecedents = masks[rows[sl]]
-            consequents = masks[cols[sl]] & ~antecedents
-            larger_counts = counts[cols[sl]]
-            yield RuleArrays(
-                BitMatrix(antecedents, len(universe)),
-                BitMatrix(consequents, len(universe)),
-                universe,
-                relative_supports(larger_counts, n_objects),
-                confidences[sl].copy(),
-                larger_counts,
-            )
+        sl = slice(start, start + block_rows)
+        antecedents = masks[rows[sl]]
+        consequents = masks[cols[sl]] & ~antecedents
+        larger_counts = counts[cols[sl]]
+        return RuleArrays(
+            BitMatrix(antecedents, len(universe)),
+            BitMatrix(consequents, len(universe)),
+            universe,
+            relative_supports(larger_counts, n_objects),
+            confidences[sl].copy(),
+            larger_counts,
+        )
 
     def _build_arrays_materialized(self) -> RuleArrays:
         """The pre-streaming one-shot column assembly (oracle for tests).
@@ -287,6 +315,7 @@ def build_luxenburger_basis(
     lattice: IcebergLattice | None = None,
     lattice_strategy: str = "auto",
     block_rows: int | None = None,
+    workers: int | None = None,
 ) -> LuxenburgerBasis:
     """Build the Luxenburger basis (reduced by default) of a closed family."""
     return LuxenburgerBasis(
@@ -296,4 +325,5 @@ def build_luxenburger_basis(
         lattice=lattice,
         lattice_strategy=lattice_strategy,
         block_rows=block_rows,
+        workers=workers,
     )

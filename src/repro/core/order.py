@@ -46,6 +46,7 @@ from ..errors import InvalidParameterError
 from .bitmatrix import _BLOCK_CELLS as _PACKED_BLOCK_CELLS
 from .bitmatrix import BitMatrix, packed_containment, packed_hasse_reduction
 from .itemset import Itemset, _sort_key
+from .parallel import get_executor
 
 __all__ = [
     "pack_itemset_masks",
@@ -332,16 +333,43 @@ class PackedOrderCore(OrderCore):
     50k+-node families load at all.  The packed Hasse matrix is dropped
     after the edge arrays are extracted; containment queries pop words
     out of the retained packed order.
+
+    ``workers`` shards the two construction passes across the kernel
+    executor of :mod:`repro.core.parallel` (``None`` = serial unless the
+    ``REPRO_NUM_WORKERS`` environment variable says otherwise); the
+    built core is byte-identical for any worker count.
+
+    ``retain_containment=False`` is the CSR-only edge-store mode for
+    query-only consumers (the ``repro serve`` warm start): the packed
+    containment words are dropped once the Hasse edges are extracted,
+    cutting steady-state memory from ``n**2 / 8`` bytes to the
+    ``O(n x words)`` member masks plus the edge arrays.  Containment
+    queries then re-probe the masks (the
+    :class:`ReferenceOrderCore` pattern: one masked compare per
+    ancestry test, one vectorised family pass per full-order row) and
+    :meth:`packed_containment_matrix` recomputes the relation on demand.
     """
 
     strategy = "packed"
 
-    def __init__(self, masks: np.ndarray) -> None:
-        self._proper = packed_containment(masks)
-        hasse = packed_hasse_reduction(self._proper)
+    def __init__(
+        self,
+        masks: np.ndarray,
+        workers: int | None = None,
+        retain_containment: bool = True,
+    ) -> None:
+        executor = get_executor(workers)
+        self._masks = np.ascontiguousarray(masks, dtype=np.uint64)
+        self._masks.setflags(write=False)
+        proper = packed_containment(self._masks, executor=executor)
+        hasse = packed_hasse_reduction(proper, executor=executor)
         rows, cols = hasse.nonzero()
-        super().__init__(rows, cols, self._proper.n_rows)
-        self._proper.words.setflags(write=False)
+        super().__init__(rows, cols, proper.n_rows)
+        if retain_containment:
+            proper.words.setflags(write=False)
+            self._proper: BitMatrix | None = proper
+        else:
+            self._proper = None
 
     @classmethod
     def from_parts(
@@ -365,21 +393,64 @@ class PackedOrderCore(OrderCore):
             )
         core = cls.__new__(cls)
         core._proper = proper
+        core._masks = None
         OrderCore.__init__(core, hasse_rows, hasse_cols, proper.n_rows)
-        core._proper.words.setflags(write=False)
+        proper.words.setflags(write=False)
         return core
 
+    @classmethod
+    def from_edges(
+        cls,
+        masks: np.ndarray,
+        hasse_rows: np.ndarray,
+        hasse_cols: np.ndarray,
+    ) -> "PackedOrderCore":
+        """Rehydrate a CSR-only core: Hasse edges plus member masks.
+
+        The ``retain_containment=False`` counterpart of
+        :meth:`from_parts`, used by the store's memory-lean load mode:
+        no packed ``n**2 / 8``-byte relation is adopted (or even read);
+        containment queries probe the ``O(n x words)`` masks instead.
+        """
+        masks = np.ascontiguousarray(masks, dtype=np.uint64)
+        core = cls.__new__(cls)
+        core._proper = None
+        core._masks = masks
+        core._masks.setflags(write=False)
+        OrderCore.__init__(core, hasse_rows, hasse_cols, masks.shape[0])
+        return core
+
+    @property
+    def retains_containment(self) -> bool:
+        """``True`` when the packed ``n x n`` relation is held in memory."""
+        return self._proper is not None
+
+    def _mask_order_row(self, index: int) -> np.ndarray:
+        row = self._masks[index]
+        subset = np.all((row[None, :] & self._masks) == row[None, :], axis=1)
+        subset[index] = False
+        return np.nonzero(subset)[0]
+
     def is_ancestor(self, smaller: int, larger: int) -> bool:
-        return self._proper.get(smaller, larger)
+        if self._proper is not None:
+            return self._proper.get(smaller, larger)
+        if smaller == larger:
+            return False
+        small = self._masks[smaller]
+        return bool(np.all((small & self._masks[larger]) == small))
 
     def order_row(self, index: int) -> np.ndarray:
-        return self._proper.row_indices(index)
+        if self._proper is not None:
+            return self._proper.row_indices(index)
+        return self._mask_order_row(index)
 
     def containment_indices(self) -> tuple[np.ndarray, np.ndarray]:
-        return self._proper.nonzero()
+        return self.packed_containment_matrix().nonzero()
 
     def packed_containment_matrix(self) -> BitMatrix:
-        return self._proper
+        if self._proper is not None:
+            return self._proper
+        return packed_containment(self._masks)
 
 
 class ReferenceOrderCore(OrderCore):
@@ -434,16 +505,25 @@ def build_order_core(
     masks: np.ndarray,
     strategy: str,
     reference_edges: tuple[np.ndarray, np.ndarray] | None = None,
+    workers: int | None = None,
+    retain_containment: bool = True,
 ) -> OrderCore:
     """Construct the order core for an already *resolved* strategy.
 
     ``reference_edges`` supplies the oracle Hasse edge index arrays and is
     required (and only meaningful) for the ``reference`` strategy.
+    ``workers`` shards the packed construction passes (the dense core's
+    BLAS product and the reference oracle stay serial); the edges and
+    matrices built are byte-identical for any worker count.
+    ``retain_containment`` only affects the packed core (see
+    :class:`PackedOrderCore`).
     """
     if strategy == "dense":
         return DenseOrderCore(masks)
     if strategy == "packed":
-        return PackedOrderCore(masks)
+        return PackedOrderCore(
+            masks, workers=workers, retain_containment=retain_containment
+        )
     if strategy == "reference":
         if reference_edges is None:
             raise InvalidParameterError(

@@ -24,6 +24,7 @@ alike; batch calls only compute the cache misses.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from collections.abc import Iterable, Sequence
@@ -73,6 +74,10 @@ class ClosureEngine(ABC):
         self._db = database
         self._items: tuple = database.items
         self._cache: OrderedDict[Itemset, tuple[Itemset, int]] = OrderedDict()
+        # One engine is shared by the threaded serve daemon and the
+        # parallel closure path; the OrderedDict reorder-on-hit and the
+        # eviction loop are not atomic, so every cache touch is locked.
+        self._cache_lock = threading.Lock()
         self._cache_size = int(cache_size)
         self._hits = 0
         self._misses = 0
@@ -96,35 +101,39 @@ class ClosureEngine(ABC):
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
         """Return hit/miss/size counters of the closure cache."""
-        return CacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            maxsize=self._cache_size,
-            currsize=len(self._cache),
-        )
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                maxsize=self._cache_size,
+                currsize=len(self._cache),
+            )
 
     def cache_clear(self) -> None:
         """Drop every cached closure and reset the counters."""
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def _cache_get(self, key: Itemset) -> tuple[Itemset, int] | None:
-        entry = self._cache.get(key)
-        if entry is not None:
-            self._cache.move_to_end(key)
-            self._hits += 1
-        else:
-            self._misses += 1
-        return entry
+        with self._cache_lock:
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+            return entry
 
     def _cache_put(self, key: Itemset, value: tuple[Itemset, int]) -> None:
         if self._cache_size <= 0:
             return
-        self._cache[key] = value
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Candidate canonicalisation

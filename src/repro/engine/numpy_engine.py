@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..core.itemset import Itemset
+from ..core.parallel import get_executor, shard_spans
 from .base import DEFAULT_CACHE_SIZE, ClosureEngine
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,14 +51,26 @@ _SMALL_BATCH = 4
 
 
 class NumpyClosureEngine(ClosureEngine):
-    """Vectorised dense engine (the default for the level-wise miners)."""
+    """Vectorised dense engine (the default for the level-wise miners).
+
+    ``workers`` shards the batched cover gather and the closure matmul
+    over candidate rows through the kernel executor of
+    :mod:`repro.core.parallel` (``None`` = the ``REPRO_NUM_WORKERS``
+    environment variable, else serial).  Row shards write disjoint
+    output slices and each row's reduction is independent, so results
+    are byte-identical for any worker count.
+    """
 
     name = "numpy"
 
     def __init__(
-        self, database: "TransactionDatabase", cache_size: int = DEFAULT_CACHE_SIZE
+        self,
+        database: "TransactionDatabase",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        workers: int | None = None,
     ) -> None:
         super().__init__(database, cache_size=cache_size)
+        self._workers = workers
         matrix = database.matrix
         self._matrix = matrix
         # The float32 ¬M operand of the closure matmul is built lazily: a
@@ -110,9 +123,18 @@ class NumpyClosureEngine(ClosureEngine):
                 empty_rows.append(row)
                 index[row] = 0
         chunk = max(1, _CHUNK_WORDS // max(1, self._n_words * width))
-        for start in range(0, m, chunk):
-            gathered = self._item_words[index[start : start + chunk]]
-            out[start : start + chunk] = np.bitwise_and.reduce(gathered, axis=1)
+        executor = get_executor(self._workers)
+        if not executor.is_serial and m > chunk:
+            # Spread the gather chunks over the workers without growing
+            # any single chunk past the working-set cap.
+            chunk = max(1, min(chunk, executor.shard_size(m)))
+
+        def gather(span: tuple[int, int]) -> None:
+            start, stop = span
+            gathered = self._item_words[index[start:stop]]
+            out[start:stop] = np.bitwise_and.reduce(gathered, axis=1)
+
+        executor.map(gather, shard_spans(m, chunk))
         if empty_rows:
             out[empty_rows] = self._full_words
         return out
@@ -173,7 +195,20 @@ class NumpyClosureEngine(ClosureEngine):
         unique_f = self._unpack_covers(cover_words[unique_rows]).astype(np.float32)
         # One matrix product closes every distinct cover of the batch; an
         # all-zero cover row yields an all-ones closure row = the universe.
-        closed = (unique_f @ self._not_m) == 0.0
+        # Each output row is an independent dot-product reduction, so
+        # sharding over candidate rows is byte-identical to one product.
+        executor = get_executor(self._workers)
+        not_m = self._not_m
+        closed = np.empty((unique_f.shape[0], not_m.shape[1]), dtype=bool)
+
+        def close_rows(span: tuple[int, int]) -> None:
+            start, stop = span
+            closed[start:stop] = (unique_f[start:stop] @ not_m) == 0.0
+
+        executor.map(
+            close_rows,
+            shard_spans(unique_f.shape[0], executor.shard_size(unique_f.shape[0])),
+        )
         distinct = [self._decode_items(row) for row in closed]
         return [
             (distinct[inverse[r]], int(supports[r])) for r in range(len(itemsets))

@@ -205,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: auto-sized from the working-set budget; purely a "
         "peak-memory knob, output is identical)",
     )
+    bases.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the sharded lattice/rule kernels "
+        "(0 = all cores; default: the REPRO_NUM_WORKERS environment "
+        "variable, else serial; output is identical at any count)",
+    )
 
     _add_command(
         subparsers,
@@ -324,6 +333,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(SIGHUP still reloads)",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the warm-start basis kernels "
+        "(0 = all cores; default: the REPRO_NUM_WORKERS environment "
+        "variable, else serial)",
+    )
+    serve.add_argument(
         "--log-requests",
         action="store_true",
         help="log one line per request to stderr (default: metrics only)",
@@ -392,6 +410,7 @@ def _command_bases(args: argparse.Namespace) -> int:
             bases=selection,
             lattice_strategy=args.lattice_strategy,
             block_rows=args.block_rows,
+            workers=args.workers,
         )
         dataset_name = stored.name
         minsup = artifacts.minsup
@@ -406,6 +425,7 @@ def _command_bases(args: argparse.Namespace) -> int:
             bases=selection,
             lattice_strategy=args.lattice_strategy,
             block_rows=args.block_rows,
+            workers=args.workers,
         )
         dataset_name = database.name
         minsup = args.minsup
@@ -548,7 +568,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     from ..serve import RuleServer, ServeApp
 
     app = ServeApp(
-        args.store, cache_size=args.cache_size, watch=not args.no_watch
+        args.store,
+        cache_size=args.cache_size,
+        watch=not args.no_watch,
+        workers=args.workers,
     )
     server = RuleServer(
         (args.host, args.port), app, log_requests=args.log_requests

@@ -86,6 +86,7 @@ class ItemsetMiningResult:
         minconf: float,
         lattice_strategy: str = "auto",
         block_rows: int | None = None,
+        workers: int | None = None,
     ) -> BasisContext:
         """A :class:`BasisContext` over the mined families.
 
@@ -94,7 +95,9 @@ class ItemsetMiningResult:
         ``lattice_strategy`` forces the order core of the shared iceberg
         lattice (``auto`` picks dense below ~10k closed itemsets, packed
         above); ``block_rows`` forces the row-block size of the streamed
-        rule-column assembly (``None`` = auto-sized blocks).
+        rule-column assembly (``None`` = auto-sized blocks); ``workers``
+        shards the lattice and rule-emission kernels (``None`` = the
+        ``REPRO_NUM_WORKERS`` environment variable, else serial).
         """
         return BasisContext(
             closed=self.closed,
@@ -103,6 +106,7 @@ class ItemsetMiningResult:
             generators_factory=lambda: self.generator_family,
             lattice_strategy=lattice_strategy,
             block_rows=block_rows,
+            workers=workers,
         )
 
 
@@ -254,6 +258,7 @@ def build_rule_artifacts(
     bases: str | tuple[str, ...] | list[str] | None = None,
     lattice_strategy: str = "auto",
     block_rows: int | None = None,
+    workers: int | None = None,
 ) -> RuleArtifacts:
     """Build a selection of rule bases for one (dataset, minsup, minconf) cell.
 
@@ -265,10 +270,15 @@ def build_rule_artifacts(
     ``reference`` — ``auto`` switches dense → packed at ~10k closed
     itemsets) and ``block_rows`` the row-block size of the streamed rule
     expansion (``None`` = auto-sized blocks; purely a peak-memory knob,
-    the built rules are byte-identical either way).
+    the built rules are byte-identical either way).  ``workers`` shards
+    the lattice construction and the streamed rule emitters across
+    threads; the built bases are byte-identical for any worker count.
     """
     context = mining.basis_context(
-        minconf, lattice_strategy=lattice_strategy, block_rows=block_rows
+        minconf,
+        lattice_strategy=lattice_strategy,
+        block_rows=block_rows,
+        workers=workers,
     )
     return RuleArtifacts(
         database_name=mining.database.name,
@@ -335,6 +345,7 @@ def build_rule_artifacts_from_store(
     bases: str | tuple[str, ...] | list[str] | None = None,
     lattice_strategy: str = "auto",
     block_rows: int | None = None,
+    workers: int | None = None,
 ) -> RuleArtifacts:
     """Warm-start the basis construction from a loaded artifact store.
 
@@ -372,6 +383,7 @@ def build_rule_artifacts_from_store(
         generators=stored.generators,
         lattice_strategy=lattice_strategy,
         block_rows=block_rows,
+        workers=workers,
         _lattice=None if strategy_forced else stored.lattice,
     )
     minsup = stored.minsup

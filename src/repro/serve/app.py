@@ -301,6 +301,17 @@ class ServeApp:
         it was replaced.  Replacements should be atomic (write a
         sidecar, then ``os.replace``); a half-written file that fails to
         load keeps the previous snapshot serving.
+    workers : int, optional
+        Worker count for the sharded kernels of the warm-start basis
+        rebuild (``None`` = the ``REPRO_NUM_WORKERS`` environment
+        variable, else serial; ``0`` = all cores).  Served answers are
+        byte-identical for any worker count.
+    retain_containment : bool
+        Whether the loaded lattice keeps the packed ``n**2 / 8``-byte
+        containment relation resident.  The daemon only needs
+        point-ancestry probes, which the member masks answer, so the
+        default is ``False`` — the CSR-only edge store mode that cuts
+        warm-start resident memory on large lattices.
 
     Notes
     -----
@@ -314,9 +325,13 @@ class ServeApp:
         store_path: str | Path,
         cache_size: int = DEFAULT_CACHE_SIZE,
         watch: bool = True,
+        workers: int | None = None,
+        retain_containment: bool = False,
     ) -> None:
         self._path = Path(store_path)
         self._watch = bool(watch)
+        self._workers = workers
+        self._retain_containment = bool(retain_containment)
         self.cache = LRUCache(cache_size)
         self.metrics = _Metrics()
         self._reload_lock = threading.Lock()
@@ -335,7 +350,9 @@ class ServeApp:
     def _load(self, generation: int) -> LoadedStore:
         """Load the store file into a fresh :class:`LoadedStore` snapshot."""
         signature = _signature(self._path)
-        stored = load_run(self._path)
+        stored = load_run(
+            self._path, retain_containment=self._retain_containment
+        )
         bases: dict[str, ServedBasis] = {}
         for name, arrays in stored.rule_arrays.items():
             canonical = arrays.sorted_canonically()
@@ -360,6 +377,7 @@ class ServeApp:
                 minconf=0.0,
                 transitive_reduction=True,
                 lattice=stored.lattice,
+                workers=self._workers,
             )
             derivation = BasisDerivation(
                 dg, luxenburger, n_objects=stored.closed.n_objects

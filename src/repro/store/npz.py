@@ -49,7 +49,7 @@ from ..core.families import ClosedItemsetFamily, ItemsetFamily
 from ..core.generators import GeneratorFamily
 from ..core.itemset import Item, Itemset
 from ..core.lattice import IcebergLattice
-from ..core.order import PackedOrderCore
+from ..core.order import PackedOrderCore, pack_itemset_masks
 from ..core.rulearrays import RuleArrays, pack_itemsets_into, sorted_universe
 from ..data.context import TransactionDatabase
 from ..errors import InvalidParameterError, StoreFormatError
@@ -451,7 +451,9 @@ def read_manifest(path: str | Path) -> dict:
 
 
 def load_run(
-    path: str | Path, sections: Iterable[str] | None = None
+    path: str | Path,
+    sections: Iterable[str] | None = None,
+    retain_containment: bool = True,
 ) -> StoredRun:
     """Rehydrate a container written by :func:`save_run`.
 
@@ -468,6 +470,14 @@ def load_run(
         family).  Sections the file does not hold are skipped — use
         :meth:`StoredRun.require` for a clear error when one is
         mandatory.  ``None`` loads everything the file holds.
+    retain_containment : bool
+        When ``False`` the order section is rehydrated CSR-only: the
+        stored ``order__words`` array (the packed ``n**2 / 8``-byte
+        containment relation) is never decompressed; the lattice adopts
+        just the Hasse edge arrays plus the ``O(n x words)`` member
+        masks and answers containment queries by mask probing.  The
+        memory-lean warm-start mode of query-only consumers such as
+        ``repro serve``.
 
     Returns
     -------
@@ -527,12 +537,20 @@ def load_run(
             run.generators = GeneratorFamily(run.closed, by_closure)
 
         if "order" in wanted:
-            n = int(manifest["order"]["n"])
-            core = PackedOrderCore.from_parts(
-                BitMatrix(data["order__words"], n),
-                data["order__rows"],
-                data["order__cols"],
-            )
+            if retain_containment:
+                n = int(manifest["order"]["n"])
+                core = PackedOrderCore.from_parts(
+                    BitMatrix(data["order__words"], n),
+                    data["order__rows"],
+                    data["order__cols"],
+                )
+            else:
+                masks, _ = pack_itemset_masks(run.closed.itemsets())
+                core = PackedOrderCore.from_edges(
+                    masks,
+                    data["order__rows"],
+                    data["order__cols"],
+                )
             run.lattice = IcebergLattice(run.closed, order_core=core)
 
         if "rules" in wanted:

@@ -112,6 +112,79 @@ def test_best_of_n_uses_minimum_mean(tmp_path, baseline, capsys):
     assert gate.main([str(baseline), f"{slow},{fast}"]) == 0
 
 
+def test_bare_name_collision_does_not_alias(tmp_path, capsys):
+    """Two benchmarks sharing a bare ``name`` must stay distinct entries.
+
+    The bug this guards: entries without a ``fullname`` (e.g. parallel
+    variants of an existing kernel) used to overwrite the serial
+    baseline's mean in the loaded dict, so a fast parallel run could
+    mask — or a slow one fabricate — a regression of the serial path.
+    """
+    payload = {
+        "benchmarks": [
+            {"name": "test_engine_kernel", "stats": {"mean": 0.010}},
+            {"name": "test_engine_kernel", "stats": {"mean": 0.999}},
+        ]
+    }
+    path = tmp_path / "dup.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    means = gate.load_means(path)
+    assert means == {
+        "test_engine_kernel": 0.010,
+        "test_engine_kernel#2": 0.999,
+    }
+    out = capsys.readouterr().out
+    assert "duplicate benchmark name" in out
+
+
+def test_bare_name_collision_gates_each_variant(tmp_path, capsys):
+    """The suffixed duplicate is gated on its own baseline, not the serial one."""
+    dup = {
+        "benchmarks": [
+            {"name": "test_engine_kernel", "stats": {"mean": 0.010}},
+            {"name": "test_engine_kernel", "stats": {"mean": 0.030}},
+        ]
+    }
+    base = tmp_path / "base.json"
+    base.write_text(json.dumps(dup), encoding="utf-8")
+    # Serial unchanged; the second (parallel) variant regresses 10x.  With
+    # aliasing the parallel mean would overwrite the serial entry on both
+    # sides and the 10x regression of the duplicate would still be caught —
+    # but a *fast* current duplicate would mask a serial regression, so
+    # check that direction: serial regresses, duplicate is fine.
+    cur = {
+        "benchmarks": [
+            {"name": "test_engine_kernel", "stats": {"mean": 0.100}},
+            {"name": "test_engine_kernel", "stats": {"mean": 0.029}},
+        ]
+    }
+    current = tmp_path / "cur.json"
+    current.write_text(json.dumps(cur), encoding="utf-8")
+    assert gate.main([str(base), str(current)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+
+def test_merge_bench_runs_keeps_bare_name_duplicates_distinct(tmp_path):
+    """The trajectory artifact must not fold two benchmarks into one entry."""
+    import importlib.util as _ilu
+
+    merge_script = SCRIPT.parent / "merge_bench_runs.py"
+    merge_spec = _ilu.spec_from_file_location("merge_bench_runs", merge_script)
+    merge = _ilu.module_from_spec(merge_spec)
+    merge_spec.loader.exec_module(merge)
+    payload = {
+        "benchmarks": [
+            {"name": "test_engine_kernel", "stats": {"median": 0.010, "mean": 0.011}},
+            {"name": "test_engine_kernel", "stats": {"median": 0.030, "mean": 0.031}},
+        ]
+    }
+    merged = merge.merge_runs([payload, payload])
+    assert set(merged) == {"test_engine_kernel", "test_engine_kernel#2"}
+    assert merged["test_engine_kernel"]["median"] == 0.010
+    assert merged["test_engine_kernel#2"]["median"] == 0.030
+
+
 def test_filter_restricts_gated_set(tmp_path, capsys):
     baseline = write_bench(tmp_path / "base.json", {"test_table_slow": 0.01})
     current = write_bench(tmp_path / "cur.json", {"test_table_slow": 1.00})
