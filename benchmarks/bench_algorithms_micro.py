@@ -33,6 +33,7 @@ from repro.data.synthetic import (
 )
 from repro.engine import make_engine
 from repro.experiments.harness import mine_itemsets
+from repro.recommend import Recommender
 
 MINSUP = 0.5
 
@@ -255,6 +256,68 @@ def test_engine_parallel_rule_emit(benchmark, workers):
 
     total = benchmark.pedantic(build, rounds=1, iterations=1)
     assert total == expected
+
+
+RECOMMEND_BASKET_DEPTHS = (1, 2, 3, 5, 8)
+RECOMMEND_QUERIES = 200
+RECOMMEND_K = 5
+
+
+def test_engine_recommend_throughput(benchmark):
+    """Top-k recommendation over the 10^6-rule clone-chain store.
+
+    Builds the 999,000-rule informative-full basis of the 1000-link
+    clone chain once, wraps it in a :class:`Recommender`, and times one
+    ``recommend_many`` batch of 200 prefix baskets (depths cycling over
+    1/2/3/5/8).  Gated like the other engine benchmarks; dividing
+    ``RECOMMEND_QUERIES`` by the recorded time gives queries/second in
+    the trajectory artifact.
+
+    The chain's analytic structure pins every answer exactly, without
+    the (quadratic) object oracle: for a basket holding all clones of
+    levels ``1..d``, the rank-``i`` recommendation is the clones of
+    levels ``d+1..d+1+i``, won by a level-``d`` generator rule with
+    confidence ``(L-d-i)/(L-d+1)`` — strictly decreasing in rank — and
+    the basket matches ``2dL - d(d+1)`` rules.
+    """
+    chain = PARALLEL_RULE_CHAIN
+    closed, generators = make_rule_dense_family(chain, 2)
+    lattice = IcebergLattice(closed, strategy="packed")
+    arrays = InformativeBasis(
+        generators, minconf=0.0, reduced=False, lattice=lattice, workers=0
+    ).rules.to_arrays()
+    assert len(arrays) == rule_dense_expected_counts(chain, 2)["informative_full"]
+    engine = Recommender(arrays, workers=1, assume_canonical=True)
+    depths = [
+        RECOMMEND_BASKET_DEPTHS[i % len(RECOMMEND_BASKET_DEPTHS)]
+        for i in range(RECOMMEND_QUERIES)
+    ]
+    baskets = [
+        [f"c{level:04d}_{clone}" for level in range(1, depth + 1) for clone in range(2)]
+        for depth in depths
+    ]
+
+    answers = benchmark.pedantic(
+        lambda: engine.recommend_many(baskets, k=RECOMMEND_K),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert len(answers) == RECOMMEND_QUERIES
+    for depth, result in zip(depths, answers):
+        assert result.matched_rules == 2 * depth * chain - depth * (depth + 1)
+        assert len(result.recommendations) == RECOMMEND_K
+        for rank, rec in enumerate(result.recommendations):
+            top = depth + 1 + rank
+            assert rec.items == tuple(
+                f"c{level:04d}_{clone}"
+                for level in range(depth + 1, top + 1)
+                for clone in range(2)
+            )
+            assert rec.antecedent in ((f"c{depth:04d}_0",), (f"c{depth:04d}_1",))
+            assert rec.confidence == pytest.approx(
+                (chain - depth - rank) / (chain - depth + 1), rel=1e-12
+            )
 
 
 def test_store_roundtrip_rule_dense(benchmark, rule_dense, tmp_path):

@@ -29,8 +29,10 @@ trajectory of the repository:
 the runs — the same best-of-N statistic ``check_bench_regression.py``
 gates on — and ``rounds`` is summed over the runs that contained the
 benchmark.  Missing or unreadable run files are skipped with a note, so
-one flaky run does not break the artifact; having zero readable runs is
-an error.
+one flaky run does not break the artifact; having zero readable runs —
+or readable runs that together contain zero benchmark entries — is an
+error: an empty trajectory artifact would silently break the
+performance series downstream tooling reads.
 """
 
 from __future__ import annotations
@@ -126,6 +128,13 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     merged = merge_runs(payloads)
+    if not merged:
+        print(
+            "error: the readable runs contain no benchmark entries; "
+            "refusing to write an empty trajectory",
+            file=sys.stderr,
+        )
+        return 1
     commit = args.commit or commit_from_payload(payloads) or "unknown"
     document = {
         "schema": 1,

@@ -49,6 +49,9 @@ REQUESTS = [
     ("GET", "/bases/nope/rules", None),
     ("POST", "/derive", {"antecedent": ["c"], "consequent": ["b", "e"]}),
     ("POST", "/derive", {"antecedent": ["a"], "consequent": ["d"]}),
+    ("POST", "/recommend", {"basket": ["b", "c"], "k": 3}),
+    ("POST", "/recommend", {"basket": [], "basis": "dg"}),
+    ("POST", "/recommend", {"basket": ["a"], "basis": "nope"}),
     ("GET", "/metrics", None),
 ]
 

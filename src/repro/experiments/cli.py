@@ -22,7 +22,10 @@ The CLI gives quick terminal access to the things users do most:
 * ``repro export run.npz --basis dg --out dg.parquet`` — export a
   stored basis's rule columns as Parquet/Arrow (needs ``pyarrow``);
 * ``repro serve --store run.npz --port 8000`` — boot the read-only
-  rule-serving daemon over a store (see ``docs/serving.md``).
+  rule-serving daemon over a store (see ``docs/serving.md``);
+* ``repro recommend --store run.npz --basket b,c`` — top-k consequent
+  recommendations for a partial basket, one-shot or ``--interactive``
+  (see ``docs/recommend.md``).
 
 Every subcommand carries a one-line description and an epilog example;
 the full help output is golden-pinned by ``tests/test_cli_golden.py``.
@@ -306,8 +309,9 @@ def build_parser() -> argparse.ArgumentParser:
         "serve many)",
         description="Boot the long-lived read-only rule-serving daemon over "
         "an artifact store: GET /healthz, /bases, /bases/<name>/rules and "
-        "/metrics plus POST /derive, with an LRU answer cache and SIGHUP/"
-        "mtime-triggered store reloads (see docs/serving.md).",
+        "/metrics plus POST /derive and POST /recommend, with an LRU answer "
+        "cache and SIGHUP/mtime-triggered store reloads (see "
+        "docs/serving.md).",
         example="repro serve --store run.npz --port 8000",
     )
     serve.add_argument(
@@ -345,6 +349,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-requests",
         action="store_true",
         help="log one line per request to stderr (default: metrics only)",
+    )
+
+    recommend = _add_command(
+        subparsers,
+        "recommend",
+        help_text="top-k consequent recommendations for a partial basket",
+        description="Answer top-k consequent queries over one stored rule "
+        "basis: rules whose antecedent is contained in the basket, ranked "
+        "by confidence (support breaks ties), with consequents the basket "
+        "already holds filtered out (see docs/recommend.md).",
+        example="repro recommend --store run.npz --basket b,c -k 3",
+    )
+    recommend.add_argument(
+        "--store", required=True, help="path of a `repro save` .npz container"
+    )
+    recommend.add_argument(
+        "--basket",
+        default=None,
+        metavar="ITEMS",
+        help="comma-separated basket items (required unless --interactive)",
+    )
+    recommend.add_argument(
+        "-k",
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        dest="top",
+        help="number of consequents to return (default: 5)",
+    )
+    recommend.add_argument(
+        "--basis",
+        default=None,
+        help="stored basis to recommend from (default: the first stored "
+        "basis in the documented preference order, informative first)",
+    )
+    recommend.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the scoring kernel (0 = all cores; "
+        "default: the REPRO_NUM_WORKERS environment variable, else serial)",
+    )
+    recommend.add_argument(
+        "--interactive",
+        action="store_true",
+        help="read baskets from stdin, one per line, answering each "
+        "(blank line or EOF quits)",
     )
 
     experiment = _add_command(
@@ -589,7 +642,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"derivation: "
         f"{'ready' if loaded.derivation is not None else 'unavailable'}"
     )
-    print("  endpoints: /healthz /bases /bases/<name>/rules /derive /metrics")
+    print(
+        "  endpoints: /healthz /bases /bases/<name>/rules /derive "
+        "/recommend /metrics"
+    )
     sys.stdout.flush()
     try:
         server.serve_forever()
@@ -597,6 +653,75 @@ def _command_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _parse_basket_line(raw: str) -> list[str]:
+    """Split one basket spec on commas and whitespace, dropping blanks."""
+    return [token for token in raw.replace(",", " ").split() if token]
+
+
+def _print_recommendations(engine, basket, k: int) -> None:
+    """Run one basket query and print the ranked consequents."""
+    result = engine.query(basket, k)
+    label = ", ".join(str(item) for item in result.known_items) or "(empty)"
+    ignored = len(set(basket)) - len(result.known_items)
+    note = f"; {ignored} unknown item(s) ignored" if ignored else ""
+    print(f"basket {{{label}}}: {result.matched_rules} rule(s) matched{note}")
+    if not result.recommendations:
+        print("  (nothing to recommend)")
+        return
+    for rank, rec in enumerate(result.recommendations, start=1):
+        items = ", ".join(str(item) for item in rec.items)
+        antecedent = ", ".join(str(item) for item in rec.antecedent)
+        consequent = ", ".join(str(item) for item in rec.consequent)
+        count = "" if rec.support_count is None else f"  count={rec.support_count}"
+        print(
+            f"  {rank}. {{{items}}}  confidence={rec.confidence:.3f}  "
+            f"support={rec.support:.3f}{count}  "
+            f"[{{{antecedent}}} -> {{{consequent}}}]"
+        )
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    from .. import store
+    from ..recommend import Recommender, preferred_basis
+
+    if args.basket is None and not args.interactive:
+        raise InvalidParameterError(
+            "pass --basket ITEMS for a one-shot query or --interactive "
+            "to read baskets from stdin"
+        )
+    if args.top < 1:
+        raise InvalidParameterError(f"-k must be positive, got {args.top}")
+    run = store.load_run(args.store, sections=("rules",))
+    stored = run.rule_arrays or {}
+    basis = args.basis if args.basis is not None else preferred_basis(stored)
+    if basis is None:
+        raise InvalidParameterError(
+            f"store {args.store} holds no rule basis to recommend from"
+        )
+    if basis not in stored:
+        raise InvalidParameterError(
+            f"basis {basis!r} is not in the store; stored: "
+            f"{', '.join(sorted(stored)) or '(none)'}"
+        )
+    engine = Recommender(stored[basis], workers=args.workers)
+    print(
+        f"recommending from basis {basis!r} "
+        f"({len(engine)} rules, {len(engine.universe)} items)"
+    )
+    if args.basket is not None:
+        _print_recommendations(engine, _parse_basket_line(args.basket), args.top)
+    if args.interactive:
+        prompt = sys.stdin.isatty()
+        while True:
+            if prompt:
+                print("basket> ", end="", file=sys.stderr, flush=True)
+            line = sys.stdin.readline()
+            if not line or not line.strip():
+                break
+            _print_recommendations(engine, _parse_basket_line(line), args.top)
     return 0
 
 
@@ -629,6 +754,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "load": _command_load,
         "export": _command_export,
         "serve": _command_serve,
+        "recommend": _command_recommend,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,46 @@
+"""Top-k consequent recommendation over packed rule columns.
+
+The user-facing query workload of the rule bases: given a *partial
+basket* (a set of items already chosen), return the top-k consequents —
+ranked by confidence, support as tiebreak — among all rules whose
+antecedent is contained in the basket.  The package answers that query
+at interactive latency over millions of stored rules:
+
+``AntecedentIndex``
+    A packed inverted index mapping universe item positions to the
+    :class:`~repro.core.rulearrays.RuleArrays` rows whose antecedent
+    contains the item (CSR postings), generalizing the size-bucketed
+    containment index of ``ClosedItemsetFamily.closure_of``.
+``Recommender``
+    The vectorized match → score → rank kernel over one canonically
+    sorted rule collection, with ``workers=`` sharding through the
+    :mod:`repro.core.parallel` executor seam.
+``recommend_reference``
+    The slow object-level oracle: same semantics, one materialised
+    :class:`~repro.core.rules.AssociationRule` at a time.  Tests assert
+    the kernel equal to it; it is the specification.
+
+See ``docs/recommend.md`` for the index layout, the scoring semantics
+and the HTTP/CLI surfaces built on top (``POST /recommend``,
+``repro recommend``).
+"""
+
+from .engine import (
+    BASIS_PREFERENCE,
+    BasketQueryResult,
+    Recommendation,
+    Recommender,
+    preferred_basis,
+    recommend_reference,
+)
+from .index import AntecedentIndex
+
+__all__ = [
+    "BASIS_PREFERENCE",
+    "AntecedentIndex",
+    "BasketQueryResult",
+    "Recommendation",
+    "Recommender",
+    "preferred_basis",
+    "recommend_reference",
+]

@@ -15,6 +15,7 @@ GET       ``/healthz``            liveness + store identity
 GET       ``/bases``              stored bases with per-basis statistics
 GET       ``/bases/{name}/rules`` filtered, paginated rule listing
 POST      ``/derive``             derivability check of a candidate rule
+POST      ``/recommend``          top-k consequents for a partial basket
 GET       ``/metrics``            request/latency/cache counters
 ========  ======================  ==========================================
 
@@ -42,6 +43,7 @@ from ..core.itemset import Itemset
 from ..core.luxenburger import LuxenburgerBasis
 from ..core.rulearrays import RuleArrays
 from ..errors import DerivationError, ReproError
+from ..recommend import BASIS_PREFERENCE, Recommender, preferred_basis
 from ..store import load_run
 from .cache import LRUCache
 
@@ -52,6 +54,8 @@ __all__ = [
     "ServeApp",
     "DEFAULT_CACHE_SIZE",
     "MAX_PAGE_LIMIT",
+    "MAX_RECOMMEND_K",
+    "RECOMMEND_BASIS_PREFERENCE",
 ]
 
 #: Default capacity of the per-store answer cache.
@@ -62,6 +66,19 @@ MAX_PAGE_LIMIT = 1000
 
 #: Default page size of ``GET /bases/{name}/rules``.
 DEFAULT_PAGE_LIMIT = 50
+
+#: Default top-k size of ``POST /recommend``.
+DEFAULT_RECOMMEND_K = 5
+
+#: Hard ceiling of the ``k`` body parameter of ``POST /recommend``.
+MAX_RECOMMEND_K = 100
+
+#: Default-basis preference of ``POST /recommend`` when the body names
+#: none: the first of these that the store holds answers the query,
+#: falling back to the alphabetically first stored basis.  Shared with
+#: the ``repro recommend`` CLI verb
+#: (:data:`repro.recommend.BASIS_PREFERENCE`).
+RECOMMEND_BASIS_PREFERENCE = BASIS_PREFERENCE
 
 _RULES_PARAMS = frozenset(
     {
@@ -166,6 +183,15 @@ class LoadedStore:
         lacks the sections needed to build one.
     derivation_error : str or None
         Why derivation is unavailable, when it is.
+    recommenders : dict[str, Recommender]
+        One :class:`~repro.recommend.Recommender` per stored basis,
+        sharing each basis's already-sorted columns copy-on-write (only
+        the inverted index is new memory).  Rebuilt with every snapshot,
+        so hot reloads refresh the recommendation engine atomically too.
+    recommend_basis : str or None
+        Default basis of ``POST /recommend`` (see
+        :data:`RECOMMEND_BASIS_PREFERENCE`); ``None`` when the store
+        holds no rule basis at all.
     """
 
     path: Path
@@ -178,6 +204,8 @@ class LoadedStore:
     bases: dict[str, ServedBasis]
     derivation: BasisDerivation | None
     derivation_error: str | None
+    recommenders: dict[str, Recommender] = field(default_factory=dict)
+    recommend_basis: str | None = None
 
     def require_basis(self, name: str) -> ServedBasis:
         """Return the served basis *name* or raise a 404 :class:`ApiError`."""
@@ -190,6 +218,23 @@ class LoadedStore:
                 f"basis {name!r} is not in the store; stored bases: "
                 f"{', '.join(self.bases) or '(none)'}",
             ) from None
+
+    def require_recommender(self, name: str | None) -> Recommender:
+        """Return the recommender for basis *name* (default when ``None``).
+
+        Raises a 503 :class:`ApiError` when the store holds no rule
+        basis at all, and a 404 when *name* is not a stored basis.
+        """
+        if name is None:
+            name = self.recommend_basis
+        if name is None:
+            raise ApiError(
+                503,
+                "recommendation_unavailable",
+                "the store holds no rule basis to recommend from",
+            )
+        self.require_basis(name)
+        return self.recommenders[name]
 
 
 class _Metrics:
@@ -354,6 +399,7 @@ class ServeApp:
             self._path, retain_containment=self._retain_containment
         )
         bases: dict[str, ServedBasis] = {}
+        recommenders: dict[str, Recommender] = {}
         for name, arrays in stored.rule_arrays.items():
             canonical = arrays.sorted_canonically()
             bases[name] = ServedBasis(
@@ -363,6 +409,12 @@ class ServeApp:
                 metadata=dict(stored.basis_metadata.get(name, {})),
                 summary=summarize_rules(canonical),
             )
+            # The recommender shares the snapshot's sorted columns
+            # copy-on-write; only its inverted index is new memory.
+            recommenders[name] = Recommender(
+                canonical, workers=self._workers, assume_canonical=True
+            )
+        recommend_basis = preferred_basis(bases)
         derivation: BasisDerivation | None = None
         derivation_error: str | None = None
         if stored.closed is None or stored.frequent is None:
@@ -395,6 +447,8 @@ class ServeApp:
             bases=bases,
             derivation=derivation,
             derivation_error=derivation_error,
+            recommenders=recommenders,
+            recommend_basis=recommend_basis,
         )
 
     def request_reload(self) -> None:
@@ -505,6 +559,14 @@ class ServeApp:
                     )
                 status, payload = self._derive_response(loaded, body)
                 return "POST /derive", status, payload
+            if parts == ["recommend"]:
+                if method != "POST":
+                    raise ApiError(
+                        405, "method_not_allowed",
+                        "use POST with a JSON body on /recommend",
+                    )
+                status, payload = self._recommend_response(loaded, body)
+                return "POST /recommend", status, payload
             if parts == ["metrics"] and method == "GET":
                 return "GET /metrics", 200, self._metrics_payload(loaded)
             raise ApiError(404, "not_found", f"no route for {method} {path}")
@@ -519,7 +581,9 @@ class ServeApp:
         """Return the metrics label of a (possibly failed) route."""
         if len(parts) >= 1 and parts[0] == "bases" and len(parts) == 3:
             return "GET /bases/{name}/rules"
-        if parts[:1] in (["healthz"], ["bases"], ["derive"], ["metrics"]):
+        if parts[:1] in (
+            ["healthz"], ["bases"], ["derive"], ["recommend"], ["metrics"]
+        ):
             return f"{method} /{parts[0]}"
         return "unmatched"
 
@@ -540,6 +604,7 @@ class ServeApp:
             "derivation": (
                 "ready" if loaded.derivation is not None else "unavailable"
             ),
+            "recommend_basis": loaded.recommend_basis,
         }
 
     def _bases_payload(self, loaded: LoadedStore) -> dict:
@@ -681,6 +746,52 @@ class ServeApp:
                 "confidence": rule.confidence,
                 "support_count": rule.support_count,
             },
+        }
+
+    def _recommend_response(
+        self, loaded: LoadedStore, body: bytes | None
+    ) -> tuple[int, dict]:
+        """Answer ``POST /recommend`` (through the answer cache)."""
+        basket, k, name = _parse_recommend_body(body, loaded)
+        recommender = loaded.require_recommender(name)
+        basis = name if name is not None else loaded.recommend_basis
+        key = (loaded.generation, "recommend", basis, k, basket)
+        hit, cached = self.cache.get(key)
+        if hit:
+            return 200, cached  # type: ignore[return-value]
+        payload = self._recommend_payload(loaded, recommender, basis, basket, k)
+        self.cache.put(key, payload)
+        return 200, payload
+
+    def _recommend_payload(
+        self,
+        loaded: LoadedStore,
+        recommender: Recommender,
+        basis: str,
+        basket: tuple,
+        k: int,
+    ) -> dict:
+        """Run one top-k basket query and render it as JSON."""
+        result = recommender.query(basket, k)
+        return {
+            "basis": basis,
+            "generation": loaded.generation,
+            "basket": list(basket),
+            "known_items": list(result.known_items),
+            "k": k,
+            "matched_rules": result.matched_rules,
+            "count": len(result.recommendations),
+            "recommendations": [
+                {
+                    "items": list(rec.items),
+                    "confidence": rec.confidence,
+                    "support": rec.support,
+                    "support_count": rec.support_count,
+                    "antecedent": list(rec.antecedent),
+                    "consequent": list(rec.consequent),
+                }
+                for rec in result.recommendations
+            ],
         }
 
     def _metrics_payload(self, loaded: LoadedStore) -> dict:
@@ -826,3 +937,66 @@ def _parse_derive_body(
     if not consequent:
         raise ApiError(400, "bad_request", "consequent must be non-empty")
     return antecedent, consequent
+
+
+def _parse_recommend_body(
+    body: bytes | None, loaded: LoadedStore
+) -> tuple[tuple, int, str | None]:
+    """Parse and validate the JSON body of ``POST /recommend``.
+
+    Returns ``(basket, k, basis)`` with the basket deduplicated and
+    canonically sorted — the canonical form is also the answer-cache
+    key, so ``["b", "a", "a"]`` and ``["a", "b"]`` share one entry.
+    """
+    if not body:
+        raise ApiError(
+            400, "bad_request",
+            'POST /recommend needs a JSON body like {"basket": ["a", "c"], '
+            '"k": 5}',
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ApiError(400, "bad_request", f"invalid JSON body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ApiError(400, "bad_request", "the request body must be a JSON object")
+    unknown = set(payload) - {"basket", "k", "basis"}
+    if unknown:
+        raise ApiError(
+            400, "bad_request",
+            f"unknown body key(s): {', '.join(sorted(unknown))}; "
+            "expected basket, k and basis",
+        )
+    if "basket" not in payload:
+        raise ApiError(400, "bad_request", "the body must name a basket")
+    raw_basket = payload["basket"]
+    if not isinstance(raw_basket, list) or not all(
+        isinstance(item, (str, int)) and not isinstance(item, bool)
+        for item in raw_basket
+    ):
+        raise ApiError(
+            400, "bad_request",
+            "basket must be a JSON array of item strings or integers "
+            "(empty is allowed: it matches the empty-antecedent rules)",
+        )
+    universe: tuple = ()
+    for basis in loaded.bases.values():
+        universe = basis.arrays.universe
+        break
+    basket = tuple(sorted(
+        {_coerce_item(item, universe) for item in raw_basket},
+        key=_item_sort_key,
+    ))
+    k = payload.get("k", DEFAULT_RECOMMEND_K)
+    if isinstance(k, bool) or not isinstance(k, int):
+        raise ApiError(400, "bad_request", f"k must be an integer, got {k!r}")
+    if not 1 <= k <= MAX_RECOMMEND_K:
+        raise ApiError(
+            400, "bad_request", f"k must be in [1, {MAX_RECOMMEND_K}], got {k}"
+        )
+    name = payload.get("basis")
+    if name is not None and not isinstance(name, str):
+        raise ApiError(
+            400, "bad_request", f"basis must be a string, got {name!r}"
+        )
+    return basket, k, name

@@ -165,14 +165,20 @@ def test_bare_name_collision_gates_each_variant(tmp_path, capsys):
     assert "REGRESSION" in out
 
 
-def test_merge_bench_runs_keeps_bare_name_duplicates_distinct(tmp_path):
-    """The trajectory artifact must not fold two benchmarks into one entry."""
+def load_merge_module():
+    """The merge_bench_runs script, imported fresh from its file."""
     import importlib.util as _ilu
 
     merge_script = SCRIPT.parent / "merge_bench_runs.py"
     merge_spec = _ilu.spec_from_file_location("merge_bench_runs", merge_script)
     merge = _ilu.module_from_spec(merge_spec)
     merge_spec.loader.exec_module(merge)
+    return merge
+
+
+def test_merge_bench_runs_keeps_bare_name_duplicates_distinct(tmp_path):
+    """The trajectory artifact must not fold two benchmarks into one entry."""
+    merge = load_merge_module()
     payload = {
         "benchmarks": [
             {"name": "test_engine_kernel", "stats": {"median": 0.010, "mean": 0.011}},
@@ -183,6 +189,59 @@ def test_merge_bench_runs_keeps_bare_name_duplicates_distinct(tmp_path):
     assert set(merged) == {"test_engine_kernel", "test_engine_kernel#2"}
     assert merged["test_engine_kernel"]["median"] == 0.010
     assert merged["test_engine_kernel#2"]["median"] == 0.030
+
+
+def test_merge_bench_runs_writes_trajectory(tmp_path, capsys):
+    """The happy path: three runs fold into one best-of-N document."""
+    merge = load_merge_module()
+    runs = []
+    for index, median in enumerate((0.012, 0.010, 0.011)):
+        payload = {
+            "benchmarks": [
+                {
+                    "fullname": "test_engine_kernel",
+                    "stats": {"median": median, "mean": median, "rounds": 3},
+                }
+            ]
+        }
+        path = tmp_path / f"run{index}.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        runs.append(str(path))
+    output = tmp_path / "BENCH_abc1234.json"
+    assert merge.main([*runs, "--output", str(output), "--commit", "abc1234"]) == 0
+    document = json.loads(output.read_text(encoding="utf-8"))
+    assert document["schema"] == 1
+    assert document["commit"] == "abc1234"
+    assert document["runs"] == 3
+    assert document["benchmarks"]["test_engine_kernel"]["median"] == 0.010
+    assert document["benchmarks"]["test_engine_kernel"]["rounds"] == 9
+
+
+def test_merge_bench_runs_refuses_empty_benchmark_set(tmp_path, capsys):
+    """Readable runs with zero benchmark entries must fail, not write {}.
+
+    A filtered-to-nothing or crashed bench run produces a valid JSON
+    payload whose ``benchmarks`` list is empty; silently emitting an
+    empty trajectory artifact would poison the ``BENCH_<sha>.json``
+    series, so the merge must exit non-zero and write nothing.
+    """
+    merge = load_merge_module()
+    empty = tmp_path / "run.json"
+    empty.write_text(json.dumps({"benchmarks": []}), encoding="utf-8")
+    output = tmp_path / "BENCH_abc1234.json"
+    assert merge.main([str(empty), "--output", str(output)]) == 1
+    assert not output.exists()
+    assert "no benchmark entries" in capsys.readouterr().err
+
+
+def test_merge_bench_runs_no_readable_runs_fails(tmp_path, capsys):
+    """Zero readable run files is an error, mirroring the empty-set case."""
+    merge = load_merge_module()
+    missing = tmp_path / "nope.json"
+    output = tmp_path / "BENCH_abc1234.json"
+    assert merge.main([str(missing), "--output", str(output)]) == 1
+    assert not output.exists()
+    assert "no readable benchmark runs" in capsys.readouterr().err
 
 
 def test_filter_restricts_gated_set(tmp_path, capsys):

@@ -383,6 +383,131 @@ class TestDeriveEndpoint:
         assert page["total"] == len(arrays)
 
 
+class TestRecommendEndpoint:
+    def recommend(self, app, payload):
+        body = payload if isinstance(payload, bytes) else json.dumps(payload).encode()
+        return app.handle("POST", "/recommend", body=body)
+
+    def test_answer_matches_object_oracle(self, app):
+        from repro.recommend import recommend_reference
+
+        for basket in ([], ["a"], ["b", "c"], ["a", "b", "c", "e"]):
+            status, payload = self.recommend(app, {"basket": basket, "k": 3})
+            assert status == 200
+            basis = app.loaded.bases[payload["basis"]]
+            expected = recommend_reference(basis.arrays, basket, 3)
+            assert payload["matched_rules"] == expected.matched_rules
+            assert payload["known_items"] == list(expected.known_items)
+            assert payload["recommendations"] == [
+                {
+                    "items": list(rec.items),
+                    "confidence": rec.confidence,
+                    "support": rec.support,
+                    "support_count": rec.support_count,
+                    "antecedent": list(rec.antecedent),
+                    "consequent": list(rec.consequent),
+                }
+                for rec in expected.recommendations
+            ]
+
+    def test_default_basis_follows_preference(self, app):
+        from repro.serve.app import RECOMMEND_BASIS_PREFERENCE
+
+        status, payload = self.recommend(app, {"basket": ["a"]})
+        assert status == 200
+        expected = next(
+            name for name in RECOMMEND_BASIS_PREFERENCE if name in app.loaded.bases
+        )
+        assert payload["basis"] == expected
+        assert payload["k"] == 5  # the documented default
+
+    def test_explicit_basis_and_every_stored_basis_answers(self, app):
+        for name in app.loaded.bases:
+            status, payload = self.recommend(app, {"basket": ["b", "c"], "basis": name})
+            assert status == 200
+            assert payload["basis"] == name
+
+    def test_unknown_items_are_reported_not_rejected(self, app):
+        status, payload = self.recommend(app, {"basket": ["a", "zz"]})
+        assert status == 200
+        assert payload["basket"] == ["a", "zz"]
+        assert payload["known_items"] == ["a"]
+
+    def test_healthz_names_the_default_basis(self, app):
+        _, health = app.handle("GET", "/healthz")
+        assert health["recommend_basis"] == app.loaded.recommend_basis
+        assert health["recommend_basis"] in app.loaded.bases
+
+    def test_unknown_basis_404(self, app):
+        status, payload = self.recommend(app, {"basket": ["a"], "basis": "nope"})
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, app):
+        status, payload = app.handle("GET", "/recommend")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"",
+            b"not json",
+            b"[]",
+            b"{}",
+            b'{"basket": "a"}',
+            b'{"basket": [true]}',
+            b'{"basket": ["a"], "k": "three"}',
+            b'{"basket": ["a"], "k": 0}',
+            b'{"basket": ["a"], "k": 101}',
+            b'{"basket": ["a"], "basis": 3}',
+            b'{"basket": ["a"], "items": ["b"]}',
+        ],
+    )
+    def test_bad_bodies_400(self, app, body):
+        status, payload = self.recommend(app, body)
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_rules_only_store_still_recommends(self, app, tmp_path):
+        name = next(iter(app.loaded.bases))
+        arrays = app.loaded.bases[name].arrays
+        path = tmp_path / "rules-only.npz"
+        save_run(path, rule_arrays={name: arrays})
+        bare = ServeApp(path, watch=False)
+        status, payload = bare.handle(
+            "POST", "/recommend", body=b'{"basket": ["b", "c"]}'
+        )
+        assert status == 200
+        assert payload["basis"] == name
+
+    def test_store_without_bases_503(self, tmp_path):
+        db = TransactionDatabase(FIG1_TRANSACTIONS, name="fig1")
+        path = save_run(tmp_path / "no-bases.npz", database=db, name="fig1")
+        bare = ServeApp(path, watch=False)
+        _, health = bare.handle("GET", "/healthz")
+        assert health["recommend_basis"] is None
+        status, payload = bare.handle("POST", "/recommend", body=b'{"basket": ["a"]}')
+        assert status == 503
+        assert payload["error"]["code"] == "recommendation_unavailable"
+
+    def test_basket_canonicalization_shares_cache_entries(self, store_path):
+        app = ServeApp(store_path, watch=False)
+        first = self.recommend(app, {"basket": ["b", "a"]})
+        second = self.recommend(app, {"basket": ["a", "b", "a"]})
+        assert first == second
+        assert app.cache.stats()["hits"] == 1
+
+    def test_metrics_count_the_route(self, store_path):
+        app = ServeApp(store_path, watch=False)
+        self.recommend(app, {"basket": ["a"]})
+        self.recommend(app, b"not json")
+        _, metrics = app.handle("GET", "/metrics")
+        route = metrics["endpoints"]["POST /recommend"]
+        assert route["count"] == 2
+        assert route["errors"] == 1
+
+
 class TestMetricsAndCache:
     def test_counters_and_cache_hits(self, store_path):
         app = ServeApp(store_path, watch=False)
@@ -456,6 +581,14 @@ class TestHTTPServer:
         assert status == 200
         assert payload["derivable"] is True
 
+    def test_post_recommend(self, app, live):
+        status, payload = http_request(
+            live, "POST", "/recommend", body=b'{"basket": ["b", "c"], "k": 3}'
+        )
+        expected = app.handle("POST", "/recommend", body=b'{"basket": ["b", "c"], "k": 3}')
+        assert (status, payload) == expected
+        assert payload["recommendations"]
+
     def test_error_statuses_pass_through(self, live):
         assert http_request(live, "GET", "/nope")[0] == 404
         status, payload = http_request(live, "POST", "/derive", body=b"{")
@@ -492,6 +625,7 @@ class TestHTTPServer:
             ("GET", f"/bases/{name}/rules?min_confidence=0.75&limit=1000", None),
             ("POST", "/derive",
              b'{"antecedent": ["c"], "consequent": ["b", "e"]}'),
+            ("POST", "/recommend", b'{"basket": ["b", "c"], "k": 3}'),
         ]
         expected = {}
         for method, path, body in queries:
