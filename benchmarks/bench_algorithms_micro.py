@@ -16,6 +16,7 @@ engine benchmark that slows down more than 2x against the base branch.
 from __future__ import annotations
 
 import random
+from pathlib import Path
 
 import pytest
 
@@ -453,3 +454,97 @@ def test_serve_query_throughput(benchmark, serve_daemon):
         return answered
 
     assert benchmark(query_round) == 20
+
+
+@pytest.fixture(scope="module")
+def serve_store(mined, tmp_path_factory):
+    """A saved MUSHROOM* store file for daemon-subprocess benchmarks."""
+    from repro.experiments.harness import build_rule_artifacts, save_artifacts
+
+    artifacts = build_rule_artifacts(mined, minconf=0.7)
+    path = tmp_path_factory.mktemp("serve-bench-mp") / "run.npz"
+    save_artifacts(path, mined, artifacts)
+    return path
+
+
+MULTIPROCESS_CLIENTS = 8
+MULTIPROCESS_REQUESTS_PER_CLIENT = 40
+
+
+@pytest.mark.parametrize("processes", [1, 4], ids=["1p", "4p"])
+def test_serve_multiprocess_throughput(benchmark, serve_store, processes):
+    """A client swarm against the supervised daemon, 1 vs 4 workers.
+
+    Boots a real ``repro serve --processes N`` supervisor subprocess
+    (fork-after-load workers, kernel ``SO_REUSEPORT`` load balancing)
+    and times 8 keep-alive client threads draining a fixed request
+    budget.  The two variants land as distinct fullnames in the
+    regression gate; their ratio is the multi-process scale-out on the
+    runner.  Only meaningful on a multi-core runner — on one CPU the
+    variants time the same work plus fork overhead.
+    """
+    import http.client
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys
+    import threading
+
+    from repro.testing import wait_until_healthy
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--store", str(serve_store), "--port", "0",
+            "--processes", str(processes),
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+    )
+    try:
+        banner = proc.stdout.readline()
+        port = int(re.search(r"http://[^:]+:(\d+)", banner).group(1))
+        wait_until_healthy("127.0.0.1", port, timeout=120)
+        paths = [
+            "/bases/dg/rules?limit=50",
+            "/bases/luxenburger/rules?min_confidence=0.8&limit=50",
+            "/bases/all/rules?limit=25&offset=25",
+        ]
+
+        def client(counts: list, index: int) -> None:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", port, timeout=60
+            )
+            answered = 0
+            try:
+                for i in range(MULTIPROCESS_REQUESTS_PER_CLIENT):
+                    connection.request("GET", paths[i % len(paths)])
+                    response = connection.getresponse()
+                    response.read()
+                    assert response.status == 200
+                    answered += 1
+            finally:
+                connection.close()
+            counts[index] = answered
+
+        def swarm() -> int:
+            counts = [0] * MULTIPROCESS_CLIENTS
+            threads = [
+                threading.Thread(target=client, args=(counts, index))
+                for index in range(MULTIPROCESS_CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return sum(counts)
+
+        total = benchmark.pedantic(swarm, rounds=1, iterations=1)
+        assert total == MULTIPROCESS_CLIENTS * MULTIPROCESS_REQUESTS_PER_CLIENT
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)

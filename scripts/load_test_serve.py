@@ -20,6 +20,12 @@ prints overall QPS, per-endpoint latency percentiles and error counts,
 plus the daemon's own ``/metrics`` cache counters before and after the
 run, so a cache-sizing change is visible in one invocation.
 
+Clients are robust the way the serving docs tell real clients to be:
+a 503 (overload shedding, a worker draining) or a dropped connection
+(a worker crash under the supervisor) is retried with jittered
+exponential backoff up to ``--retries`` times; only exhausted retries
+count as failures.
+
 Stdlib only; exits non-zero if any request failed.
 """
 
@@ -28,6 +34,7 @@ from __future__ import annotations
 import argparse
 import http.client
 import json
+import random
 import statistics
 import sys
 import threading
@@ -46,47 +53,82 @@ def _percentile(samples: list[float], fraction: float) -> float:
 class Worker(threading.Thread):
     """One client thread: a persistent connection walking the request mix."""
 
-    def __init__(self, host, port, requests, start_barrier, mix):
+    def __init__(self, host, port, requests, start_barrier, mix, retries=3):
         super().__init__(daemon=True)
         self.host = host
         self.port = port
         self.requests = requests
         self.start_barrier = start_barrier
         self.mix = mix
+        self.retries = retries
+        self.retried = 0
         self.latencies: dict[str, list[float]] = {}
         self.errors: list[str] = []
 
     def run(self) -> None:
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=30)
+        self._connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=30
+        )
         self.start_barrier.wait()
         try:
             for i in range(self.requests):
                 label, method, path, body = self.mix[i % len(self.mix)]
                 started = time.perf_counter()
-                try:
-                    headers = {}
-                    if body is not None:
-                        headers["Content-Type"] = "application/json"
-                    connection.request(method, path, body=body, headers=headers)
-                    response = connection.getresponse()
-                    payload = response.read()
-                    if response.status >= 500:
-                        self.errors.append(
-                            f"{method} {path} -> {response.status}: "
-                            f"{payload[:200]!r}"
-                        )
-                except (OSError, http.client.HTTPException) as exc:
-                    self.errors.append(f"{method} {path} -> {exc!r}")
-                    connection.close()
-                    connection = http.client.HTTPConnection(
-                        self.host, self.port, timeout=30
-                    )
+                error = self._attempt(method, path, body)
+                if error is not None:
+                    self.errors.append(error)
                     continue
                 self.latencies.setdefault(label, []).append(
                     time.perf_counter() - started
                 )
         finally:
-            connection.close()
+            self._connection.close()
+
+    def _reconnect(self) -> None:
+        self._connection.close()
+        self._connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=30
+        )
+
+    def _attempt(self, method, path, body) -> str | None:
+        """Run one request with bounded retries; returns the final error.
+
+        Retryable outcomes — a dropped/reset connection (worker crash)
+        and HTTP 503 (overload shedding, deadline, draining) — back off
+        with decorrelated jitter before the next try.  Anything else
+        >= 500 fails immediately; ``None`` means success.
+        """
+        last_error = f"{method} {path} -> not attempted"
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried += 1
+                delay = min(1.0, 0.05 * (2 ** (attempt - 1)))
+                time.sleep(delay * (0.5 + random.random()))
+            headers = {}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            try:
+                self._connection.request(
+                    method, path, body=body, headers=headers
+                )
+                response = self._connection.getresponse()
+                payload = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = f"{method} {path} -> {exc!r}"
+                self._reconnect()
+                continue
+            if response.status == 503:
+                last_error = (
+                    f"{method} {path} -> 503 after {attempt + 1} tries: "
+                    f"{payload[:200]!r}"
+                )
+                continue
+            if response.status >= 500:
+                return (
+                    f"{method} {path} -> {response.status}: {payload[:200]!r}"
+                )
+            return None
+        return last_error
 
 
 def fetch_json(host: str, port: int, path: str) -> dict:
@@ -163,6 +205,13 @@ def main(argv: list[str] | None = None) -> int:
         default=1024,
         help="answer-cache capacity of the self-hosted daemon",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry budget per request for 503s and dropped connections, "
+        "with jittered exponential backoff (default: 3; 0 disables)",
+    )
     args = parser.parse_args(argv)
 
     server = None
@@ -183,7 +232,7 @@ def main(argv: list[str] | None = None) -> int:
         per_thread = max(1, args.requests // args.threads)
         barrier = threading.Barrier(args.threads + 1)
         workers = [
-            Worker(host, port, per_thread, barrier, mix)
+            Worker(host, port, per_thread, barrier, mix, retries=args.retries)
             for _ in range(args.threads)
         ]
         for worker in workers:
@@ -231,6 +280,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{cache_after['misses'] - cache_before['misses']} misses this run "
         f"({cache_after['size']}/{cache_after['capacity']} entries)"
     )
+    retried = sum(worker.retried for worker in workers)
+    if retried:
+        print(f"retries: {retried} (budget {args.retries}/request)")
     if errors:
         print(f"\n{len(errors)} FAILED requests, first 5:", file=sys.stderr)
         for error in errors[:5]:

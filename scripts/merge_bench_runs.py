@@ -42,6 +42,10 @@ import json
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.ioutils import atomic_write  # noqa: E402 (path bootstrap above)
+
 
 def load_run(path: Path) -> dict | None:
     """One raw pytest-benchmark payload, or ``None`` when unreadable."""
@@ -143,7 +147,10 @@ def main(argv: list[str] | None = None) -> int:
         "benchmarks": {name: merged[name] for name in sorted(merged)},
     }
     output = Path(args.output)
-    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    # Atomic so an interrupted merge can't leave a half-written
+    # trajectory for check_bench_regression.py to choke on.
+    with atomic_write(output, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document, indent=2) + "\n")
     print(
         f"wrote {output} ({len(merged)} benchmarks, best of {len(payloads)} "
         f"runs, commit {commit})"

@@ -65,10 +65,18 @@ VOLATILE = {
 def normalize(value):
     """Replace run-dependent values so the document is reproducible."""
     if isinstance(value, dict):
-        return {
+        normalized = {
             key: "<volatile>" if key in VOLATILE else normalize(child)
             for key, child in value.items()
         }
+        # The startup healthz probes make every healthz-derived counter
+        # timing-dependent (one probe normally, more on a slow machine).
+        if "endpoints" in normalized and "requests_total" in normalized:
+            normalized["requests_total"] = "<volatile>"
+            healthz = normalized["endpoints"].get("GET /healthz")
+            if isinstance(healthz, dict):
+                healthz["count"] = "<volatile>"
+        return normalized
     if isinstance(value, list):
         return [normalize(child) for child in value]
     return value
@@ -83,6 +91,7 @@ def collect() -> str:
         save_artifacts,
     )
     from repro.serve import ServeApp, serve_in_thread
+    from repro.testing import wait_until_healthy
 
     db = TransactionDatabase(FIG1_TRANSACTIONS, name="fig1")
     mining = mine_itemsets(db, minsup=0.4)
@@ -92,9 +101,11 @@ def collect() -> str:
         store_path = Path(tmp) / "fig1.npz"
         save_artifacts(store_path, mining, artifacts)
         server, _thread = serve_in_thread(ServeApp(store_path, watch=False))
-        connection = http.client.HTTPConnection(
-            *server.server_address[:2], timeout=30
-        )
+        host, port = server.server_address[:2]
+        # Bounded retry until the accept loop actually answers — a
+        # fixed sleep (or none) races the server thread's startup.
+        wait_until_healthy(host, port, timeout=30.0)
+        connection = http.client.HTTPConnection(host, port, timeout=30)
         document = []
         try:
             for method, path, body in REQUESTS:

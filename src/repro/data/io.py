@@ -30,6 +30,7 @@ from pathlib import Path
 from collections.abc import Iterable, Iterator
 
 from ..errors import DatasetFormatError
+from ..ioutils import atomic_write
 from .context import TransactionDatabase
 
 __all__ = [
@@ -83,9 +84,13 @@ def load_basket_file(
 
 
 def save_basket_file(database: TransactionDatabase, path: str | Path) -> None:
-    """Write a database in basket format (one transaction per line)."""
+    """Write a database in basket format (one transaction per line).
+
+    The write is crash-safe: the file appears whole under its final
+    name or not at all (temp file, fsync, atomic rename).
+    """
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         for transaction in database:
             handle.write(" ".join(str(item) for item in transaction))
             handle.write("\n")
@@ -201,7 +206,7 @@ def save_tabular_file(
             row[attribute] = value
         rows.append(row)
     path = Path(path)
-    with path.open("w", encoding="utf-8") as handle:
+    with atomic_write(path, "w", encoding="utf-8") as handle:
         for row in rows:
             handle.write(
                 delimiter.join(row.get(attribute, "?") for attribute in attributes)

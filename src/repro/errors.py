@@ -60,6 +60,19 @@ class StoreFormatError(ReproError, ValueError):
     """
 
 
+class StoreIntegrityError(StoreFormatError):
+    """An on-disk artifact store is corrupted.
+
+    Raised by :mod:`repro.store` when integrity verification fails: a
+    truncated or unreadable container, an array listed in the manifest
+    but absent from the file (or vice versa), or array bytes whose
+    SHA-256 digest no longer matches the digest recorded at save time.
+    Subclasses :class:`StoreFormatError`, so every existing handler of
+    unreadable stores (CLI error reporting, the serving daemon's
+    keep-the-old-generation reload fallback) covers corruption too.
+    """
+
+
 class MissingDependencyError(ReproError, ImportError):
     """An optional dependency needed for the requested feature is absent.
 

@@ -37,6 +37,7 @@ import argparse
 import os
 import signal
 import sys
+import threading
 from collections.abc import Sequence
 
 from ..algorithms.close import Close
@@ -350,6 +351,40 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log one line per request to stderr (default: metrics only)",
     )
+    serve.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (>1 = supervised fork-after-load serving: "
+        "crashed workers restart with backoff, SIGTERM drains gracefully; "
+        "see docs/operations.md)",
+    )
+    serve.add_argument(
+        "--verify",
+        choices=["off", "manifest", "full"],
+        default="full",
+        help="store integrity checking at (re)load: 'manifest' checks the "
+        "array inventory, 'full' also recomputes per-array sha256 digests "
+        "(default: full)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline; over-budget requests abort with a 503 "
+        "deadline_exceeded error (default: no deadline)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on concurrently handled requests; excess requests get "
+        "an immediate 503 overloaded + Retry-After instead of queueing "
+        "(default: unbounded)",
+    )
 
     recommend = _add_command(
         subparsers,
@@ -620,15 +655,45 @@ def _command_export(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from ..serve import RuleServer, ServeApp
 
-    app = ServeApp(
-        args.store,
+    app_kwargs = dict(
         cache_size=args.cache_size,
         watch=not args.no_watch,
         workers=args.workers,
+        verify=args.verify,
+        request_timeout=args.request_timeout,
+        max_inflight=args.max_inflight,
     )
+    if args.processes > 1:
+        from ..serve import Supervisor
+
+        return Supervisor(
+            args.store,
+            host=args.host,
+            port=args.port,
+            processes=args.processes,
+            app_kwargs=app_kwargs,
+            log_requests=args.log_requests,
+        ).run()
+    app = ServeApp(args.store, **app_kwargs)
     server = RuleServer(
-        (args.host, args.port), app, log_requests=args.log_requests
+        (args.host, args.port),
+        app,
+        log_requests=args.log_requests,
+        socket_timeout=30.0,
     )
+    # Track handler threads so server_close() drains in-flight requests
+    # on SIGTERM (socketserver only joins non-daemon threads).
+    server.daemon_threads = False
+    if hasattr(signal, "SIGTERM"):
+        try:
+            signal.signal(
+                signal.SIGTERM,
+                lambda *_: threading.Thread(
+                    target=server.shutdown, daemon=True
+                ).start(),
+            )
+        except ValueError:  # pragma: no cover - not in the main thread
+            pass
     if hasattr(signal, "SIGHUP"):
         try:
             signal.signal(signal.SIGHUP, lambda *_: app.request_reload())

@@ -1,0 +1,94 @@
+"""Crash-safe file writing shared by every writer in the repository.
+
+A process killed mid-write (OOM, SIGKILL, power loss) must never leave a
+torn file behind: consumers of a half-written artifact store, basket
+file or benchmark trajectory would fail in confusing ways long after the
+crash.  :func:`atomic_write` gives every writer the same durable
+convention:
+
+1. write to a temporary file *in the destination directory* (same
+   filesystem, so the final rename cannot degrade into a copy);
+2. flush and ``fsync`` the temporary file so the bytes are on disk;
+3. ``os.replace`` it over the destination — atomic on POSIX and
+   Windows — so readers observe either the complete old file or the
+   complete new file, never a mixture;
+4. ``fsync`` the directory (best effort) so the rename itself survives
+   a crash.
+
+The temporary file is unlinked on any failure, so aborted writes leave
+nothing behind but the untouched destination.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of *directory* (not supported everywhere)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystem without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(
+    path: str | Path, mode: str = "w", encoding: str | None = None
+) -> Iterator:
+    """Open a handle whose contents replace *path* atomically on success.
+
+    Parameters
+    ----------
+    path : str or Path
+        Destination file.  Its parent directory must exist.
+    mode : str
+        ``"w"`` (text, the default) or ``"wb"`` (binary); append modes
+        make no sense here and are rejected.
+    encoding : str, optional
+        Text encoding (text mode only); defaults to UTF-8.
+
+    Yields
+    ------
+    file object
+        A writable handle backed by a temporary file in the destination
+        directory.  When the ``with`` body completes, the data is
+        fsynced and atomically renamed over *path*; when it raises, the
+        temporary file is removed and *path* is untouched.
+
+    Raises
+    ------
+    ValueError
+        If *mode* is not a plain write mode.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write supports modes 'w' and 'wb', got {mode!r}")
+    path = Path(path)
+    if encoding is None and mode == "w":
+        encoding = "utf-8"
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    _fsync_directory(path.parent)

@@ -19,6 +19,9 @@ Layering:
 * :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` glue
   plus :func:`~repro.serve.http.serve_in_thread` for embedding a live
   daemon in tests and examples;
+* :mod:`repro.serve.supervisor` — fork-after-load multi-process serving
+  (``--processes N``): crashed workers restarted with backoff, crash
+  loops detected, SIGTERM drains gracefully, SIGHUP fans out reloads;
 * :mod:`repro.serve.cache` — the bounded thread-safe LRU cache.
 
 The HTTP API is documented endpoint by endpoint in ``docs/serving.md``.
@@ -36,6 +39,7 @@ from .app import (
 )
 from .cache import LRUCache
 from .http import RuleServer, serve_in_thread
+from .supervisor import Supervisor
 
 __all__ = [
     "ApiError",
@@ -46,5 +50,6 @@ __all__ = [
     "RuleServer",
     "ServeApp",
     "ServedBasis",
+    "Supervisor",
     "serve_in_thread",
 ]

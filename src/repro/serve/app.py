@@ -42,9 +42,10 @@ from ..core.dg_basis import build_duquenne_guigues_basis
 from ..core.itemset import Itemset
 from ..core.luxenburger import LuxenburgerBasis
 from ..core.rulearrays import RuleArrays
-from ..errors import DerivationError, ReproError
+from ..errors import DerivationError, ReproError, StoreIntegrityError
 from ..recommend import BASIS_PREFERENCE, Recommender, preferred_basis
 from ..store import load_run
+from ..testing.faults import get_injector
 from .cache import LRUCache
 
 __all__ = [
@@ -247,8 +248,21 @@ class _Metrics:
         self._errors = 0
         self._reloads = 0
         self._reload_failures = 0
+        self._integrity_failures = 0
+        self._rejected = 0
+        self._deadline_exceeded = 0
         self._last_reload_error: str | None = None
         self._routes: dict[str, dict[str, float]] = {}
+
+    def record_reject(self) -> None:
+        """Count one request refused by the in-flight overload gate."""
+        with self._lock:
+            self._rejected += 1
+
+    def record_timeout(self) -> None:
+        """Count one request aborted by the per-request deadline."""
+        with self._lock:
+            self._deadline_exceeded += 1
 
     def observe(self, route: str, status: int, seconds: float) -> None:
         """Record one handled request for *route* with its latency."""
@@ -269,13 +283,17 @@ class _Metrics:
                 entry["latency_seconds_max"], seconds
             )
 
-    def record_reload(self, error: str | None = None) -> None:
+    def record_reload(
+        self, error: str | None = None, integrity: bool = False
+    ) -> None:
         """Record a reload attempt (successful when *error* is ``None``)."""
         with self._lock:
             if error is None:
                 self._reloads += 1
             else:
                 self._reload_failures += 1
+                if integrity:
+                    self._integrity_failures += 1
                 self._last_reload_error = error
 
     def snapshot(self) -> dict:
@@ -301,6 +319,9 @@ class _Metrics:
                 "qps": self._requests / uptime,
                 "reloads": self._reloads,
                 "reload_failures": self._reload_failures,
+                "integrity_failures": self._integrity_failures,
+                "rejected_total": self._rejected,
+                "deadline_exceeded_total": self._deadline_exceeded,
                 "last_reload_error": self._last_reload_error,
                 "endpoints": endpoints,
             }
@@ -357,6 +378,29 @@ class ServeApp:
         point-ancestry probes, which the member masks answer, so the
         default is ``False`` — the CSR-only edge store mode that cuts
         warm-start resident memory on large lattices.
+    verify : str
+        Store integrity mode handed to :func:`repro.store.load_run` at
+        (re)load time: ``"off"``, ``"manifest"`` or ``"full"``.  The
+        daemon defaults to ``"full"`` — it loads once and serves for a
+        long time, so the one-time digest pass is cheap insurance
+        against serving from a silently corrupted container.
+    request_timeout : float, optional
+        Per-request deadline in seconds.  The expensive handlers check
+        it between numpy passes and abort with a 503
+        ``deadline_exceeded`` error once exceeded.  ``None``/``0``
+        disables the deadline.
+    max_inflight : int, optional
+        Bound on concurrently handled requests.  Excess requests are
+        rejected immediately with a 503 ``overloaded`` error (and a
+        ``Retry-After`` header at the HTTP layer) instead of queueing
+        without bound.  ``/healthz`` and ``/metrics`` bypass the gate
+        so the daemon stays observable under overload.  ``None``/``0``
+        disables the gate.
+    extra_metrics : callable, optional
+        Zero-argument callable returning a dict merged into the
+        ``GET /metrics`` payload — the seam through which the
+        supervisor publishes per-worker identity and the shared
+        restart counter.
 
     Notes
     -----
@@ -372,11 +416,26 @@ class ServeApp:
         watch: bool = True,
         workers: int | None = None,
         retain_containment: bool = False,
+        verify: str = "full",
+        request_timeout: float | None = None,
+        max_inflight: int | None = None,
+        extra_metrics=None,
     ) -> None:
         self._path = Path(store_path)
         self._watch = bool(watch)
         self._workers = workers
         self._retain_containment = bool(retain_containment)
+        self._verify = verify
+        self._request_timeout = (
+            float(request_timeout) if request_timeout else None
+        )
+        self._inflight = (
+            threading.BoundedSemaphore(int(max_inflight))
+            if max_inflight
+            else None
+        )
+        self._extra_metrics = extra_metrics
+        self._local = threading.local()
         self.cache = LRUCache(cache_size)
         self.metrics = _Metrics()
         self._reload_lock = threading.Lock()
@@ -394,9 +453,12 @@ class ServeApp:
 
     def _load(self, generation: int) -> LoadedStore:
         """Load the store file into a fresh :class:`LoadedStore` snapshot."""
+        get_injector().fire("store.load", path=self._path)
         signature = _signature(self._path)
         stored = load_run(
-            self._path, retain_containment=self._retain_containment
+            self._path,
+            retain_containment=self._retain_containment,
+            verify=self._verify,
         )
         bases: dict[str, ServedBasis] = {}
         recommenders: dict[str, Recommender] = {}
@@ -485,7 +547,10 @@ class ServeApp:
                 fresh = self._load(generation=self._loaded.generation + 1)
             except ReproError as exc:
                 self._failed_signature = current
-                self.metrics.record_reload(error=str(exc))
+                self.metrics.record_reload(
+                    error=str(exc),
+                    integrity=isinstance(exc, StoreIntegrityError),
+                )
                 return
             self._failed_signature = None
             self._loaded = fresh
@@ -522,11 +587,51 @@ class ServeApp:
             ``{"error": {"code": ..., "message": ...}}``.
         """
         started = time.perf_counter()
-        self.maybe_reload()
-        loaded = self._loaded
-        route, status, payload = self._dispatch(loaded, method, path, params, body)
+        parts = [part for part in path.split("/") if part]
+        # /healthz and /metrics bypass the overload gate (and the fault
+        # seam) so the daemon stays observable while it sheds load.
+        observability = parts in (["healthz"], ["metrics"])
+        gated = self._inflight is not None and not observability
+        if gated and not self._inflight.acquire(blocking=False):
+            self.metrics.record_reject()
+            error = ApiError(
+                503, "overloaded",
+                "server is at its in-flight request limit; retry shortly",
+            )
+            route = self._route_label(parts, method)
+            self.metrics.observe(route, error.status, time.perf_counter() - started)
+            return error.status, error.payload()
+        try:
+            self.maybe_reload()
+            if self._request_timeout is not None:
+                self._local.deadline = time.monotonic() + self._request_timeout
+            if not observability:
+                get_injector().fire("serve.request")
+            loaded = self._loaded
+            route, status, payload = self._dispatch(
+                loaded, method, path, params, body
+            )
+        finally:
+            self._local.deadline = None
+            if gated:
+                self._inflight.release()
         self.metrics.observe(route, status, time.perf_counter() - started)
         return status, payload
+
+    def _check_deadline(self) -> None:
+        """Abort with 503 ``deadline_exceeded`` once the deadline passed.
+
+        Called by the expensive handlers between numpy passes, so an
+        over-budget request stops burning CPU at the next checkpoint
+        instead of running to completion.
+        """
+        deadline = getattr(self._local, "deadline", None)
+        if deadline is not None and time.monotonic() > deadline:
+            self.metrics.record_timeout()
+            raise ApiError(
+                503, "deadline_exceeded",
+                f"request exceeded the {self._request_timeout:g}s deadline",
+            )
 
     def _dispatch(
         self,
@@ -657,6 +762,7 @@ class ServeApp:
                 f"unknown query parameter(s): {', '.join(sorted(unknown))}; "
                 f"supported: {', '.join(sorted(_RULES_PARAMS))}",
             )
+        self._check_deadline()
         arrays = basis.arrays
         mask = np.ones(len(arrays), dtype=bool)
         for param, column, op in (
@@ -690,6 +796,7 @@ class ServeApp:
         offset = _int_param(params, "offset", 0, 0, None)
         indices = np.nonzero(mask)[0]
         page = indices[offset : offset + limit]
+        self._check_deadline()
         return {
             "basis": basis.name,
             "kind": basis.kind,
@@ -721,6 +828,7 @@ class ServeApp:
         consequent: tuple,
     ) -> tuple[int, dict]:
         """Check one candidate rule for derivability from the bases."""
+        self._check_deadline()
         if loaded.derivation is None:
             raise ApiError(
                 503, "derivation_unavailable",
@@ -772,7 +880,9 @@ class ServeApp:
         k: int,
     ) -> dict:
         """Run one top-k basket query and render it as JSON."""
+        self._check_deadline()
         result = recommender.query(basket, k)
+        self._check_deadline()
         return {
             "basis": basis,
             "generation": loaded.generation,
@@ -799,6 +909,8 @@ class ServeApp:
         payload = self.metrics.snapshot()
         payload["generation"] = loaded.generation
         payload["cache"] = self.cache.stats()
+        if self._extra_metrics is not None:
+            payload.update(self._extra_metrics())
         return payload
 
 

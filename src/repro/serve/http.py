@@ -16,10 +16,12 @@ with SIGHUP-triggered reloads for foreground use.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from ..testing.faults import get_injector
 from .app import ServeApp
 
 __all__ = ["RuleServer", "serve_in_thread"]
@@ -43,6 +45,19 @@ class RuleServer(ThreadingHTTPServer):
         Whether to emit the default per-request stderr log lines
         (silent by default — the daemon's own metrics endpoint is the
         observability surface).
+    listen_socket : socket.socket, optional
+        An already-listening socket to adopt instead of binding a new
+        one.  Used by the supervisor's shared-listener fallback, where
+        every forked worker accepts on the parent's socket.
+    reuse_port : bool
+        Bind with ``SO_REUSEPORT`` so several worker processes can each
+        bind the same ``(host, port)`` and let the kernel load-balance
+        incoming connections between them.  Ignored when
+        *listen_socket* is given.
+    socket_timeout : float, optional
+        Per-connection socket timeout in seconds.  A client that stalls
+        mid-request (slowloris-style) gets its connection closed after
+        this long instead of pinning a handler thread forever.
     """
 
     daemon_threads = True
@@ -53,10 +68,45 @@ class RuleServer(ThreadingHTTPServer):
         address: tuple[str, int],
         app: ServeApp,
         log_requests: bool = False,
+        listen_socket: socket.socket | None = None,
+        reuse_port: bool = False,
+        socket_timeout: float | None = None,
     ) -> None:
         self.app = app
         self.log_requests = bool(log_requests)
-        super().__init__(address, _RequestHandler)
+        self.reuse_port = bool(reuse_port)
+        self.socket_timeout = socket_timeout
+        if listen_socket is not None:
+            super().__init__(address, _RequestHandler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+        else:
+            super().__init__(address, _RequestHandler)
+
+    def server_bind(self) -> None:
+        """Bind the listening socket, with ``SO_REUSEPORT`` when asked."""
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):  # pragma: no cover
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            self.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        super().server_bind()
+
+    def get_request(self):
+        """Accept one connection (the ``serve.accept`` fault seam).
+
+        An injected (or real, transient) ``OSError`` here is swallowed
+        by ``socketserver``'s ``_handle_request_noblock`` — the accept
+        loop keeps running, which is exactly the robustness property
+        the chaos suite pins.
+        """
+        get_injector().fire("serve.accept")
+        return super().get_request()
 
     @property
     def url(self) -> str:
@@ -74,6 +124,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
     # separate segments; without TCP_NODELAY every keep-alive response
     # stalls ~40ms on Nagle vs delayed-ACK.
     disable_nagle_algorithm = True
+
+    def setup(self) -> None:
+        """Install the per-connection socket timeout before buffering."""
+        if self.server.socket_timeout is not None:
+            # BaseHTTPRequestHandler honours self.timeout by closing the
+            # connection when a read blocks longer than this.
+            self.timeout = self.server.socket_timeout
+        super().setup()
 
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
         """Dispatch a GET request."""
@@ -121,6 +179,12 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json; charset=utf-8")
             self.send_header("Content-Length", str(len(data)))
+            if status == 503 and payload.get("error", {}).get("code") == (
+                "overloaded"
+            ):
+                # Tell well-behaved clients when to come back instead of
+                # letting them hammer an already-overloaded daemon.
+                self.send_header("Retry-After", "1")
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover

@@ -1,0 +1,517 @@
+"""Fault-tolerant multi-process serving: fork-after-load supervision.
+
+``repro serve --processes N`` boots one :class:`Supervisor` that loads
+the store **once**, then forks ``N`` worker processes.  Fork-after-load
+means every worker shares the packed numpy arrays of the loaded
+snapshot copy-on-write — N workers cost roughly one store's worth of
+resident memory, and no worker ever serves before a complete, verified
+snapshot exists.
+
+Connection distribution uses ``SO_REUSEPORT`` where the platform has it
+(Linux kernels load-balance accepts across the workers' listening
+sockets); the supervisor reserves the port up front by binding —
+without listening — so the ephemeral ``--port 0`` case resolves to one
+number every worker shares.  On platforms without ``SO_REUSEPORT`` the
+supervisor falls back to a single pre-fork listening socket that every
+worker inherits and accepts on.
+
+Supervision semantics:
+
+* a worker that exits (crash, ``os._exit`` via fault injection, OOM
+  kill) is restarted after a jittered exponential backoff;
+* too many restarts inside a sliding window (``--processes``-independent
+  knobs ``REPRO_SUPERVISOR_MAX_RESTARTS`` /
+  ``REPRO_SUPERVISOR_RESTART_WINDOW``) is a *crash loop*: the
+  supervisor prints diagnostics, tears everything down and exits
+  non-zero instead of flapping forever;
+* ``SIGHUP`` to the supervisor fans out to every worker, each of which
+  re-checks the store file and hot-reloads it (a corrupt replacement
+  keeps the old generation serving, exactly like the single-process
+  daemon);
+* ``SIGTERM``/``SIGINT`` drain gracefully: workers stop accepting,
+  finish in-flight requests, and anything still alive after the drain
+  timeout (``REPRO_SERVE_DRAIN_TIMEOUT`` seconds) is killed hard.
+
+Worker restarts are published through ``GET /metrics`` (key
+``worker_restarts_total``) via a tiny shared anonymous mmap the
+supervisor increments and every worker reads.
+
+Determinism contract: served responses are byte-identical for any
+``--processes`` / ``--workers`` combination — the process model only
+changes *who* answers, never *what*.
+"""
+
+from __future__ import annotations
+
+import errno
+import http.client
+import mmap
+import os
+import random
+import signal
+import socket
+import struct
+import sys
+import threading
+import time
+from pathlib import Path
+
+from ..testing.faults import get_injector
+from .app import ServeApp
+from .http import RuleServer
+
+__all__ = ["Supervisor", "SharedCounter"]
+
+#: Crash-loop threshold: this many restarts inside the window aborts.
+DEFAULT_MAX_RESTARTS = 5
+#: Sliding window (seconds) over which restarts count toward the loop.
+DEFAULT_RESTART_WINDOW = 30.0
+#: Seconds granted to in-flight requests on graceful shutdown.
+DEFAULT_DRAIN_TIMEOUT = 10.0
+#: First-restart backoff (seconds); doubles per recent crash, jittered.
+DEFAULT_BACKOFF_BASE = 0.1
+#: Backoff ceiling (seconds).
+DEFAULT_BACKOFF_CAP = 5.0
+#: Seconds between supervisor ``GET /healthz`` liveness probes.
+DEFAULT_HEALTH_INTERVAL = 2.0
+
+#: Exit code of a supervisor that detected a crash loop.
+CRASH_LOOP_EXIT_CODE = 3
+
+
+def _env_float(name: str, default: float) -> float:
+    """Read a float knob from the environment, falling back on *default*."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _request_parent_death_signal() -> None:
+    """Ask the kernel to SIGTERM this worker if the supervisor dies.
+
+    A supervisor lost to SIGKILL cannot drain its children; Linux's
+    ``prctl(PR_SET_PDEATHSIG)`` closes that orphan-leak hole.  Best
+    effort — on platforms without it workers simply outlive a
+    hard-killed supervisor, which only plain kills (never the graceful
+    paths) can cause.
+    """
+    try:
+        import ctypes
+
+        libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        libc.prctl(1, signal.SIGTERM)  # 1 == PR_SET_PDEATHSIG
+    except (OSError, AttributeError):  # pragma: no cover - non-Linux
+        pass
+
+
+class SharedCounter:
+    """A monotonic counter in anonymous shared memory.
+
+    Created before :func:`os.fork` so the supervisor (single writer)
+    and every worker (readers) see the same 8 bytes; the aligned
+    word-sized write makes torn reads a non-issue on the platforms the
+    daemon targets.
+    """
+
+    def __init__(self) -> None:
+        self._map = mmap.mmap(-1, 8)
+
+    @property
+    def value(self) -> int:
+        """int: The current counter value."""
+        return struct.unpack_from("<q", self._map, 0)[0]
+
+    def increment(self) -> int:
+        """Add one and return the new value (supervisor side only)."""
+        value = self.value + 1
+        struct.pack_into("<q", self._map, 0, value)
+        return value
+
+
+class Supervisor:
+    """Load once, fork N serving workers, and keep them alive.
+
+    Parameters
+    ----------
+    store_path : str or Path
+        The NPZ store container to serve.
+    host, port : str, int
+        Address to serve on; port ``0`` picks an ephemeral port
+        (resolved before forking, so every worker shares it — read it
+        back from :attr:`port`).
+    processes : int
+        Number of worker processes to fork.
+    app_kwargs : dict, optional
+        Extra keyword arguments for :class:`ServeApp` (``cache_size``,
+        ``watch``, ``workers``, ``verify``, ``request_timeout``,
+        ``max_inflight``...).
+    log_requests : bool
+        Per-request stderr logging in the workers.
+    socket_timeout : float, optional
+        Per-connection socket timeout handed to :class:`RuleServer`.
+    max_restarts, restart_window : int, float, optional
+        Crash-loop threshold: more than *max_restarts* worker restarts
+        within *restart_window* seconds aborts with exit code
+        :data:`CRASH_LOOP_EXIT_CODE`.  Default from the
+        ``REPRO_SUPERVISOR_MAX_RESTARTS`` /
+        ``REPRO_SUPERVISOR_RESTART_WINDOW`` environment knobs.
+    drain_timeout : float, optional
+        Graceful-shutdown budget (``REPRO_SERVE_DRAIN_TIMEOUT``).
+    health_interval : float
+        Seconds between ``GET /healthz`` liveness probes (``0``
+        disables probing).  Probe failures are logged; *restart* is
+        driven by process exit, not probe failure, so a slow worker is
+        never killed mid-request.
+
+    Notes
+    -----
+    :meth:`run` blocks until shutdown and returns the process exit
+    code; it must be called from the main thread of a process that owns
+    its signal disposition (the ``repro serve`` CLI).
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        processes: int = 2,
+        app_kwargs: dict | None = None,
+        log_requests: bool = False,
+        socket_timeout: float | None = 30.0,
+        max_restarts: int | None = None,
+        restart_window: float | None = None,
+        drain_timeout: float | None = None,
+        health_interval: float = DEFAULT_HEALTH_INTERVAL,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._store_path = Path(store_path)
+        self._host = host
+        self._requested_port = int(port)
+        self._processes = int(processes)
+        self._app_kwargs = dict(app_kwargs or {})
+        self._log_requests = bool(log_requests)
+        self._socket_timeout = socket_timeout
+        self._max_restarts = int(
+            max_restarts
+            if max_restarts is not None
+            else _env_float("REPRO_SUPERVISOR_MAX_RESTARTS", DEFAULT_MAX_RESTARTS)
+        )
+        self._restart_window = (
+            restart_window
+            if restart_window is not None
+            else _env_float(
+                "REPRO_SUPERVISOR_RESTART_WINDOW", DEFAULT_RESTART_WINDOW
+            )
+        )
+        self._drain_timeout = (
+            drain_timeout
+            if drain_timeout is not None
+            else _env_float("REPRO_SERVE_DRAIN_TIMEOUT", DEFAULT_DRAIN_TIMEOUT)
+        )
+        self._backoff_base = _env_float(
+            "REPRO_SUPERVISOR_BACKOFF_BASE", DEFAULT_BACKOFF_BASE
+        )
+        self._health_interval = health_interval
+        self._app: ServeApp | None = None
+        self._listener: socket.socket | None = None
+        self._reuse_port = hasattr(socket, "SO_REUSEPORT")
+        self._port: int | None = None
+        self._workers: dict[int, int] = {}  # pid -> worker index
+        self._restart_times: list[float] = []
+        self._recent_exits: list[str] = []
+        self._counter = SharedCounter()
+        self._stop = False
+        self._hup = False
+
+    @property
+    def port(self) -> int | None:
+        """int or None: The bound port (after :meth:`run` reserved it)."""
+        return self._port
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Load, fork, supervise; block until shutdown.
+
+        Returns
+        -------
+        int
+            ``0`` after a graceful drain, :data:`CRASH_LOOP_EXIT_CODE`
+            when a crash loop was detected.
+        """
+        self._app = ServeApp(self._store_path, **self._app_kwargs)
+        self._bind()
+        self._install_signals()
+        for index in range(self._processes):
+            self._workers[self._spawn(index)] = index
+        self._announce()
+        try:
+            return self._supervise()
+        finally:
+            if self._listener is not None:
+                self._listener.close()
+
+    def _bind(self) -> None:
+        """Reserve the serving port before forking.
+
+        With ``SO_REUSEPORT`` the parent binds *without listening* —
+        only listening sockets participate in kernel load balancing, so
+        the bound-idle parent socket just pins the port number while
+        each worker binds its own listening socket.  Without it, the
+        parent creates the one listening socket every worker inherits.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self._reuse_port:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        listener.bind((self._host, self._requested_port))
+        if not self._reuse_port:
+            listener.listen(128)
+        self._listener = listener
+        self._port = listener.getsockname()[1]
+
+    def _install_signals(self) -> None:
+        """Route TERM/INT to graceful drain and HUP to reload fan-out."""
+        signal.signal(signal.SIGTERM, self._on_stop_signal)
+        signal.signal(signal.SIGINT, self._on_stop_signal)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, self._on_hup_signal)
+
+    def _on_stop_signal(self, signum, frame) -> None:
+        """Flag graceful shutdown (handler-safe: just sets a flag)."""
+        self._stop = True
+
+    def _on_hup_signal(self, signum, frame) -> None:
+        """Flag a reload fan-out (handler-safe: just sets a flag)."""
+        self._hup = True
+
+    def _announce(self) -> None:
+        """Print the serving banner the smoke/bench parsers read."""
+        assert self._app is not None
+        loaded = self._app.loaded
+        mode = "SO_REUSEPORT" if self._reuse_port else "shared listener"
+        print(
+            f"serving {loaded.name} ({self._store_path}) on "
+            f"http://{self._host}:{self._port}"
+        )
+        print(
+            f"  supervisor: {self._processes} worker processes ({mode}); "
+            f"crash loop at >{self._max_restarts} restarts"
+            f"/{self._restart_window:g}s"
+        )
+        sys.stdout.flush()
+
+    def _supervise(self) -> int:
+        """The reap/restart/probe loop; returns the exit code."""
+        last_probe = time.monotonic()
+        while not self._stop:
+            if not self._reap():
+                self._log("crash loop detected; shutting down")
+                for line in self._recent_exits[-self._max_restarts :]:
+                    self._log(f"  recent exit: {line}")
+                self._shutdown()
+                return CRASH_LOOP_EXIT_CODE
+            if self._hup:
+                self._hup = False
+                self._signal_workers(signal.SIGHUP)
+                self._log("SIGHUP fanned out to workers (store reload)")
+            now = time.monotonic()
+            if (
+                self._health_interval
+                and now - last_probe >= self._health_interval
+            ):
+                last_probe = now
+                self._probe_health()
+            time.sleep(0.05)
+        self._shutdown()
+        return 0
+
+    def _reap(self) -> bool:
+        """Collect dead workers and restart them.
+
+        Returns
+        -------
+        bool
+            ``False`` when the restart budget for the sliding window is
+            exhausted (a crash loop), ``True`` otherwise.
+        """
+        while True:
+            try:
+                pid, status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                return True
+            except InterruptedError:  # pragma: no cover - EINTR race
+                continue
+            if pid == 0:
+                return True
+            index = self._workers.pop(pid, None)
+            if index is None or self._stop:
+                continue
+            exitcode = os.waitstatus_to_exitcode(status)
+            now = time.monotonic()
+            self._restart_times = [
+                t for t in self._restart_times
+                if now - t < self._restart_window
+            ] + [now]
+            self._recent_exits.append(
+                f"worker {index} (pid {pid}) exited with "
+                f"{'signal ' if exitcode < 0 else 'code '}{abs(exitcode)}"
+            )
+            self._log(
+                f"{self._recent_exits[-1]}; restart "
+                f"{len(self._restart_times)}/{self._max_restarts} in window"
+            )
+            if len(self._restart_times) > self._max_restarts:
+                return False
+            self._backoff(len(self._restart_times))
+            if self._stop:  # a drain signal arrived during backoff
+                return True
+            self._counter.increment()
+            self._workers[self._spawn(index)] = index
+
+    def _backoff(self, recent: int) -> None:
+        """Sleep a jittered exponential delay, staying signal-responsive."""
+        delay = min(
+            DEFAULT_BACKOFF_CAP, self._backoff_base * (2 ** (recent - 1))
+        ) * (0.5 + random.random())
+        deadline = time.monotonic() + delay
+        while not self._stop and time.monotonic() < deadline:
+            time.sleep(min(0.05, delay))
+
+    def _probe_health(self) -> None:
+        """Probe ``GET /healthz`` once; log (never kill) on failure."""
+        host = "127.0.0.1" if self._host in ("0.0.0.0", "") else self._host
+        connection = http.client.HTTPConnection(host, self._port, timeout=2)
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            response.read()
+            if response.status != 200:
+                self._log(f"health probe answered HTTP {response.status}")
+        except (OSError, http.client.HTTPException) as exc:
+            self._log(f"health probe failed: {exc!r}")
+        finally:
+            connection.close()
+
+    def _signal_workers(self, signum: int) -> None:
+        """Send *signum* to every live worker, ignoring already-dead ones."""
+        for pid in list(self._workers):
+            try:
+                os.kill(pid, signum)
+            except ProcessLookupError:
+                pass
+
+    def _shutdown(self) -> None:
+        """Drain gracefully: TERM, bounded wait, then KILL stragglers."""
+        self._stop = True
+        self._signal_workers(signal.SIGTERM)
+        deadline = time.monotonic() + self._drain_timeout
+        while self._workers and time.monotonic() < deadline:
+            try:
+                pid, _status = os.waitpid(-1, os.WNOHANG)
+            except ChildProcessError:
+                self._workers.clear()
+                break
+            if pid:
+                self._workers.pop(pid, None)
+            else:
+                time.sleep(0.02)
+        if self._workers:
+            self._log(
+                f"{len(self._workers)} worker(s) still alive after "
+                f"{self._drain_timeout:g}s drain; killing hard"
+            )
+            self._signal_workers(signal.SIGKILL)
+            while self._workers:
+                try:
+                    pid, _status = os.waitpid(-1, 0)
+                except ChildProcessError:
+                    break
+                self._workers.pop(pid, None)
+
+    @staticmethod
+    def _log(message: str) -> None:
+        """Write one supervisor log line to stderr (flushed)."""
+        print(f"supervisor: {message}", file=sys.stderr, flush=True)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int) -> int:
+        """Fork worker *index*; returns its pid (in the parent)."""
+        pid = os.fork()
+        if pid:
+            return pid
+        code = 1
+        try:
+            code = self._worker_main(index)
+        except BaseException as exc:  # noqa: BLE001 - never unwind the fork
+            print(
+                f"worker {index}: fatal {exc!r}", file=sys.stderr, flush=True
+            )
+        finally:
+            os._exit(code)
+        return 0  # pragma: no cover - unreachable
+
+    def _worker_main(self, index: int) -> int:
+        """Serve until told to stop (runs in the forked child)."""
+        assert self._app is not None and self._port is not None
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        _request_parent_death_signal()
+        get_injector().fire("worker.start")
+        app = self._app
+        app._extra_metrics = lambda: {
+            "worker": index,
+            "worker_processes": self._processes,
+            "worker_restarts_total": self._counter.value,
+        }
+        if self._reuse_port:
+            # Each worker binds its own listening socket on the shared
+            # port; the kernel balances accepts between them.
+            if self._listener is not None:
+                self._listener.close()
+            server = RuleServer(
+                (self._host, self._port),
+                app,
+                log_requests=self._log_requests,
+                reuse_port=True,
+                socket_timeout=self._socket_timeout,
+            )
+        else:
+            server = RuleServer(
+                (self._host, self._port),
+                app,
+                log_requests=self._log_requests,
+                listen_socket=self._listener,
+                socket_timeout=self._socket_timeout,
+            )
+
+        # Non-daemon handler threads: socketserver only *tracks* (and
+        # thus joins in server_close) non-daemon threads, and a joined
+        # in-flight request is the whole point of graceful drain.
+        server.daemon_threads = False
+
+        def _drain(signum, frame) -> None:
+            # shutdown() blocks until serve_forever exits; calling it on
+            # the signal frame of the serving thread would deadlock.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _drain)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, lambda *_: app.request_reload())
+        try:
+            server.serve_forever(poll_interval=0.1)
+        except OSError as exc:  # pragma: no cover - accept loop lost socket
+            if exc.errno not in (errno.EBADF, errno.EINVAL):
+                raise
+        # block_on_close joins in-flight handler threads: the drain.
+        server.server_close()
+        return 0

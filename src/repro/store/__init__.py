@@ -21,6 +21,13 @@ from .arrow import (
     export_rule_arrays,
     rule_arrays_to_table,
 )
+from .integrity import (
+    DIGEST_ALGORITHM,
+    VERIFY_MODES,
+    array_digest,
+    compute_digests,
+    verify_container,
+)
 from .npz import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -41,4 +48,9 @@ __all__ = [
     "rule_arrays_to_table",
     "export_rule_arrays",
     "EXPORT_FORMATS",
+    "DIGEST_ALGORITHM",
+    "VERIFY_MODES",
+    "array_digest",
+    "compute_digests",
+    "verify_container",
 ]

@@ -1,0 +1,178 @@
+"""End-to-end integrity verification of the NPZ artifact store.
+
+The mine-once/serve-many pipeline trusts its store files for a long
+time: a container written today may be hot-reloaded into a serving
+daemon weeks later, after passing through object stores, rsyncs and
+backup restores — any of which can flip a bit.  The zip layer's CRC-32
+catches most transport damage, but only for the arrays a reader happens
+to decompress, only when numpy surfaces the failure readably, and with
+32 bits of protection.  This module adds an explicit, end-to-end check:
+
+* at **save** time, :func:`compute_digests` records one SHA-256 digest
+  per stored array (over dtype, shape and raw bytes) into the
+  manifest's ``integrity`` section;
+* at **load** time, :func:`verify_container` replays the check behind
+  three modes — ``"manifest"`` (structural: every manifest-listed
+  array present in the file and vice versa, digests recorded),
+  ``"full"`` (additionally decompress every array and compare its
+  SHA-256 against the manifest) and ``"off"``.
+
+Every failure raises :class:`~repro.errors.StoreIntegrityError` naming
+the first offending array, so a corrupted store is rejected loudly at
+load instead of serving wrong answers quietly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zipfile
+import zlib
+
+import numpy as np
+
+from ..errors import InvalidParameterError, StoreIntegrityError
+
+__all__ = [
+    "DIGEST_ALGORITHM",
+    "VERIFY_MODES",
+    "array_digest",
+    "compute_digests",
+    "resolve_verify_mode",
+    "verify_container",
+]
+
+#: The digest algorithm recorded in (and required by) the manifest.
+DIGEST_ALGORITHM = "sha256"
+
+#: Accepted values of the ``verify=`` parameter of ``load_run`` and the
+#: ``repro serve --verify`` flag, weakest first.
+VERIFY_MODES = ("off", "manifest", "full")
+
+
+def array_digest(array: np.ndarray) -> str:
+    """Return the hex SHA-256 digest of one stored array.
+
+    The digest covers the dtype string, the shape and the raw C-order
+    bytes, so any single-bit change to the data — and any silent dtype
+    or shape reinterpretation — produces a different digest.
+
+    Parameters
+    ----------
+    array : numpy.ndarray
+        The array exactly as written into (or read back from) the
+        container.
+
+    Returns
+    -------
+    str
+        Lowercase hexadecimal SHA-256 digest.
+    """
+    contiguous = np.ascontiguousarray(array)
+    digest = hashlib.sha256()
+    digest.update(contiguous.dtype.str.encode("ascii"))
+    digest.update(repr(tuple(contiguous.shape)).encode("ascii"))
+    digest.update(contiguous.tobytes())
+    return digest.hexdigest()
+
+
+def compute_digests(payload: dict[str, np.ndarray]) -> dict[str, str]:
+    """Digest every array of a save payload (the manifest key excluded).
+
+    Parameters
+    ----------
+    payload : dict[str, numpy.ndarray]
+        The arrays about to be written, keyed by container name.  The
+        ``"manifest"`` entry — which will itself *carry* the digests —
+        is skipped.
+
+    Returns
+    -------
+    dict[str, str]
+        Container key to hex digest, sorted by key.
+    """
+    return {
+        key: array_digest(array)
+        for key, array in sorted(payload.items())
+        if key != "manifest"
+    }
+
+
+def resolve_verify_mode(verify: str) -> str:
+    """Validate a ``verify=`` argument against :data:`VERIFY_MODES`."""
+    if verify not in VERIFY_MODES:
+        raise InvalidParameterError(
+            f"verify must be one of {', '.join(VERIFY_MODES)}; got {verify!r}"
+        )
+    return verify
+
+
+def verify_container(data, manifest: dict, source, verify: str) -> None:
+    """Check one opened container against its manifest's integrity section.
+
+    Parameters
+    ----------
+    data : numpy.lib.npyio.NpzFile
+        The opened container.
+    manifest : dict
+        Its already-parsed and version-checked manifest.
+    source : str or Path
+        The file path, for error messages.
+    verify : str
+        One of :data:`VERIFY_MODES`.  ``"off"`` returns immediately;
+        ``"manifest"`` checks the array inventory both ways;
+        ``"full"`` additionally decompresses every array and compares
+        its SHA-256 digest against the recorded one.
+
+    Raises
+    ------
+    StoreIntegrityError
+        On a missing integrity section, an unknown digest algorithm, an
+        array listed but absent (or present but unlisted), an array
+        whose compressed bytes cannot be decoded, or a digest mismatch.
+    InvalidParameterError
+        When *verify* is not a recognized mode.
+    """
+    if resolve_verify_mode(verify) == "off":
+        return
+    integrity = manifest.get("integrity")
+    if not isinstance(integrity, dict) or "arrays" not in integrity:
+        raise StoreIntegrityError(
+            f"{source}: the manifest carries no integrity section; "
+            "cannot verify (re-save the store, or load with verify='off')"
+        )
+    algorithm = integrity.get("algorithm")
+    if algorithm != DIGEST_ALGORITHM:
+        raise StoreIntegrityError(
+            f"{source}: unsupported integrity digest algorithm "
+            f"{algorithm!r} (this reader verifies {DIGEST_ALGORITHM})"
+        )
+    recorded: dict = integrity["arrays"]
+    listed = set(recorded)
+    present = set(data.files) - {"manifest"}
+    missing = sorted(listed - present)
+    if missing:
+        raise StoreIntegrityError(
+            f"{source}: array(s) listed in the manifest are missing from "
+            f"the container: {', '.join(missing)}"
+        )
+    unlisted = sorted(present - listed)
+    if unlisted:
+        raise StoreIntegrityError(
+            f"{source}: container holds array(s) the manifest never "
+            f"recorded: {', '.join(unlisted)}"
+        )
+    if verify != "full":
+        return
+    for key in sorted(listed):
+        try:
+            actual = array_digest(data[key])
+        except (ValueError, OSError, zipfile.BadZipFile, zlib.error, EOFError) as exc:
+            raise StoreIntegrityError(
+                f"{source}: array {key!r} is unreadable ({exc})"
+            ) from None
+        if actual != recorded[key]:
+            raise StoreIntegrityError(
+                f"{source}: array {key!r} failed {DIGEST_ALGORITHM} "
+                f"verification (stored {recorded[key][:12]}..., "
+                f"computed {actual[:12]}...)"
+            )

@@ -38,6 +38,8 @@ with a different major version loudly instead of mis-parsing them.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Mapping, Sequence
@@ -52,7 +54,14 @@ from ..core.lattice import IcebergLattice
 from ..core.order import PackedOrderCore, pack_itemset_masks
 from ..core.rulearrays import RuleArrays, pack_itemsets_into, sorted_universe
 from ..data.context import TransactionDatabase
-from ..errors import InvalidParameterError, StoreFormatError
+from ..errors import InvalidParameterError, StoreFormatError, StoreIntegrityError
+from ..ioutils import atomic_write
+from .integrity import (
+    DIGEST_ALGORITHM,
+    compute_digests,
+    resolve_verify_mode,
+    verify_container,
+)
 
 __all__ = [
     "FORMAT_NAME",
@@ -395,9 +404,18 @@ def save_run(
             )
         manifest["sections"].append("rules")
 
+    # Per-array SHA-256 digests let a reader verify the container end to
+    # end (``load_run(verify=...)``) long after any transport or storage
+    # layer could have corrupted it.
+    manifest["integrity"] = {
+        "algorithm": DIGEST_ALGORITHM,
+        "arrays": compute_digests(payload),
+    }
     manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
     payload["manifest"] = np.frombuffer(manifest_bytes, dtype=np.uint8)
-    with path.open("wb") as handle:
+    # Crash-safe write: a `repro save` killed mid-write leaves either the
+    # complete old file or the complete new file, never a torn container.
+    with atomic_write(path, "wb") as handle:
         np.savez_compressed(handle, **payload)
     return path
 
@@ -429,14 +447,15 @@ def _open_container(path: Path):
     contract is one loud :class:`~repro.errors.StoreFormatError` for
     anything that is not a readable store container.
     """
-    import zipfile
-
     try:
         return np.load(path, allow_pickle=False)
     except FileNotFoundError:
         raise StoreFormatError(f"store file not found: {path}") from None
-    except (ValueError, OSError, zipfile.BadZipFile, EOFError) as exc:
-        raise StoreFormatError(
+    except (ValueError, OSError, zipfile.BadZipFile, zlib.error, EOFError) as exc:
+        # Truncated or otherwise undecodable bytes are an integrity
+        # failure (the file existed but cannot be what was saved), which
+        # subclasses the documented StoreFormatError contract.
+        raise StoreIntegrityError(
             f"{path} is not a readable store container ({exc})"
         ) from None
 
@@ -454,6 +473,7 @@ def load_run(
     path: str | Path,
     sections: Iterable[str] | None = None,
     retain_containment: bool = True,
+    verify: str = "manifest",
 ) -> StoredRun:
     """Rehydrate a container written by :func:`save_run`.
 
@@ -478,6 +498,12 @@ def load_run(
         masks and answers containment queries by mask probing.  The
         memory-lean warm-start mode of query-only consumers such as
         ``repro serve``.
+    verify : str
+        Integrity verification mode (see :mod:`repro.store.integrity`):
+        ``"manifest"`` (the default) cross-checks the manifest's array
+        inventory against the container, ``"full"`` additionally
+        recomputes every array's SHA-256 digest, ``"off"`` skips
+        verification entirely.
 
     Returns
     -------
@@ -489,12 +515,17 @@ def load_run(
     StoreFormatError
         When the file is not a store container or its format name or
         version does not match this reader.
+    StoreIntegrityError
+        When the container fails integrity verification (truncated or
+        undecodable file, missing/extra arrays, digest mismatch).
     """
     path = Path(path)
+    resolve_verify_mode(verify)
     with _open_container(path) as data:
         if "manifest" not in data:
             raise StoreFormatError(f"{path} has no store manifest")
         manifest = _parse_manifest(data["manifest"], path)
+        verify_container(data, manifest, path, verify)
         present = set(manifest.get("sections", []))
         wanted = present if sections is None else set(sections) & present
         if wanted & {"generators", "order"}:
@@ -502,62 +533,77 @@ def load_run(
         wanted &= present
 
         run = StoredRun(path=path, manifest=manifest)
-
-        if "context" in wanted:
-            items = _decode_items(data["context__items"])
-            indptr = data["context__indptr"]
-            item_ids = data["context__item_ids"]
-            transactions = [
-                [items[c] for c in item_ids[indptr[i] : indptr[i + 1]]]
-                for i in range(len(indptr) - 1)
-            ]
-            run.database = TransactionDatabase(
-                transactions, item_order=items, name=run.name
-            )
-
-        families = manifest.get("families", {})
-        if "frequent" in wanted:
-            run.frequent = _load_family(
-                "frequent", data, families["frequent"], closed=False
-            )
-        if "closed" in wanted:
-            run.closed = _load_family("closed", data, families["closed"], closed=True)
-
-        if "generators" in wanted:
-            members = run.closed.itemsets()
-            universe = sorted_universe(
-                item for member in members for item in member
-            )
-            gen_matrix = BitMatrix(data["generators__words"], len(universe))
-            closure_index = data["generators__closure_index"]
-            generator_sets = _decode_members(gen_matrix, universe)
-            by_closure: dict[Itemset, list[Itemset]] = {}
-            for index, generator in zip(closure_index, generator_sets):
-                by_closure.setdefault(members[int(index)], []).append(generator)
-            run.generators = GeneratorFamily(run.closed, by_closure)
-
-        if "order" in wanted:
-            if retain_containment:
-                n = int(manifest["order"]["n"])
-                core = PackedOrderCore.from_parts(
-                    BitMatrix(data["order__words"], n),
-                    data["order__rows"],
-                    data["order__cols"],
-                )
-            else:
-                masks, _ = pack_itemset_masks(run.closed.itemsets())
-                core = PackedOrderCore.from_edges(
-                    masks,
-                    data["order__rows"],
-                    data["order__cols"],
-                )
-            run.lattice = IcebergLattice(run.closed, order_core=core)
-
-        if "rules" in wanted:
-            for entry in manifest.get("bases", []):
-                basis_name = entry["name"]
-                run.rule_arrays[basis_name] = _load_rules(basis_name, data)
-                if entry.get("kind"):
-                    run.basis_kinds[basis_name] = entry["kind"]
-                run.basis_metadata[basis_name] = dict(entry.get("metadata", {}))
+        try:
+            _load_sections(run, data, manifest, wanted, retain_containment)
+        except (zipfile.BadZipFile, zlib.error, EOFError, KeyError) as exc:
+            # A flipped byte inside a compressed member surfaces as a
+            # zip/zlib decode failure (or a missing key) at read time;
+            # map it to the documented corruption error regardless of
+            # the verify mode in effect.
+            raise StoreIntegrityError(
+                f"{path}: container section data is corrupted ({exc!r})"
+            ) from None
         return run
+
+
+def _load_sections(
+    run: StoredRun, data, manifest: dict, wanted: set[str], retain_containment: bool
+) -> None:
+    """Populate *run* with the *wanted* sections of an opened container."""
+    if "context" in wanted:
+        items = _decode_items(data["context__items"])
+        indptr = data["context__indptr"]
+        item_ids = data["context__item_ids"]
+        transactions = [
+            [items[c] for c in item_ids[indptr[i] : indptr[i + 1]]]
+            for i in range(len(indptr) - 1)
+        ]
+        run.database = TransactionDatabase(
+            transactions, item_order=items, name=run.name
+        )
+
+    families = manifest.get("families", {})
+    if "frequent" in wanted:
+        run.frequent = _load_family(
+            "frequent", data, families["frequent"], closed=False
+        )
+    if "closed" in wanted:
+        run.closed = _load_family("closed", data, families["closed"], closed=True)
+
+    if "generators" in wanted:
+        members = run.closed.itemsets()
+        universe = sorted_universe(
+            item for member in members for item in member
+        )
+        gen_matrix = BitMatrix(data["generators__words"], len(universe))
+        closure_index = data["generators__closure_index"]
+        generator_sets = _decode_members(gen_matrix, universe)
+        by_closure: dict[Itemset, list[Itemset]] = {}
+        for index, generator in zip(closure_index, generator_sets):
+            by_closure.setdefault(members[int(index)], []).append(generator)
+        run.generators = GeneratorFamily(run.closed, by_closure)
+
+    if "order" in wanted:
+        if retain_containment:
+            n = int(manifest["order"]["n"])
+            core = PackedOrderCore.from_parts(
+                BitMatrix(data["order__words"], n),
+                data["order__rows"],
+                data["order__cols"],
+            )
+        else:
+            masks, _ = pack_itemset_masks(run.closed.itemsets())
+            core = PackedOrderCore.from_edges(
+                masks,
+                data["order__rows"],
+                data["order__cols"],
+            )
+        run.lattice = IcebergLattice(run.closed, order_core=core)
+
+    if "rules" in wanted:
+        for entry in manifest.get("bases", []):
+            basis_name = entry["name"]
+            run.rule_arrays[basis_name] = _load_rules(basis_name, data)
+            if entry.get("kind"):
+                run.basis_kinds[basis_name] = entry["kind"]
+            run.basis_metadata[basis_name] = dict(entry.get("metadata", {}))

@@ -1,0 +1,76 @@
+"""Test-support utilities shipped with the library.
+
+Two things live here because production code must be able to import
+them (unlike ``tests/``):
+
+* :mod:`repro.testing.faults` — the fault-injection seam the serving
+  stack calls at its failure points (worker crash, slow handler,
+  transient accept errors, reload-time store corruption), armed via the
+  ``REPRO_FAULTS`` environment variable or programmatically;
+* :func:`wait_until_healthy` — the bounded retry-until-``/healthz``
+  loop every script and test uses instead of a fixed sleep when waiting
+  for a daemon to come up.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from .faults import FaultInjector, clear_faults, get_injector, set_faults
+
+__all__ = [
+    "FaultInjector",
+    "clear_faults",
+    "get_injector",
+    "set_faults",
+    "wait_until_healthy",
+]
+
+
+def wait_until_healthy(
+    host: str, port: int, timeout: float = 30.0, interval: float = 0.05
+) -> dict:
+    """Poll ``GET /healthz`` until the daemon answers 200, bounded by *timeout*.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Address of the daemon.
+    timeout : float
+        Give up after this many seconds.
+    interval : float
+        Initial pause between attempts; grows 1.5x per retry, capped at
+        one second, so a slow cold start is not hammered.
+
+    Returns
+    -------
+    dict
+        The decoded ``/healthz`` payload of the first successful probe.
+
+    Raises
+    ------
+    TimeoutError
+        When the daemon never answered 200 within *timeout* seconds.
+    """
+    deadline = time.monotonic() + timeout
+    last_error: str = "no probe attempted"
+    while time.monotonic() < deadline:
+        connection = http.client.HTTPConnection(host, port, timeout=2)
+        try:
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status == 200:
+                return json.loads(payload)
+            last_error = f"HTTP {response.status}"
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            last_error = repr(exc)
+        finally:
+            connection.close()
+        time.sleep(interval)
+        interval = min(interval * 1.5, 1.0)
+    raise TimeoutError(
+        f"daemon at {host}:{port} not healthy after {timeout}s ({last_error})"
+    )

@@ -1,0 +1,186 @@
+"""Fault injection for the serving stack's chaos tests.
+
+Robustness claims need proof: "the supervisor restarts crashed workers"
+is only true if something actually crashes a worker during a test.  This
+module is that something — a tiny registry of named injection points the
+production code fires at its failure seams, and a parser for the
+``REPRO_FAULTS`` environment variable that arms them.  With the variable
+unset (the production default), every fire is a no-op costing one
+attribute load and an ``is None`` check.
+
+Injection points and the actions they accept::
+
+    serve.request   crash:N   os._exit(1) on every N-th fired request
+                    slow:S    sleep S seconds on every fired request
+    serve.accept    error:N   raise OSError for the first N accepts
+    store.load      truncate  truncate the store file to half (one-shot)
+                    bitflip   flip one byte mid-file (one-shot)
+    worker.start    crash     os._exit(1) as the worker boots
+
+Specs are comma-separated ``point:action[:arg]`` entries, e.g.::
+
+    REPRO_FAULTS="serve.request:crash:25" repro serve --store run.npz \
+        --processes 4
+
+kills every worker on its 25th request — the chaos suite's worker-churn
+scenario.  Counters are per-process: a forked worker starts counting at
+the fork-time value (zero for supervisor children, which never serve
+requests themselves), so "every N-th request" means every N-th request
+*of that worker*.
+
+Programmatic use (in-process tests): :func:`set_faults` /
+:func:`clear_faults` replace the environment-derived injector.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjector",
+    "clear_faults",
+    "get_injector",
+    "set_faults",
+]
+
+#: Environment variable holding the fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Known ``point:action`` combinations (validated at parse time so a
+#: typo in a chaos test arms loudly instead of silently doing nothing).
+_VALID = {
+    ("serve.request", "crash"),
+    ("serve.request", "slow"),
+    ("serve.accept", "error"),
+    ("store.load", "truncate"),
+    ("store.load", "bitflip"),
+    ("worker.start", "crash"),
+}
+
+
+class FaultInjector:
+    """Armed faults keyed by injection point, with per-process counters.
+
+    Parameters
+    ----------
+    spec : str or None
+        Comma-separated ``point:action[:arg]`` entries; ``None`` or an
+        empty string arms nothing.
+
+    Raises
+    ------
+    ValueError
+        On an entry whose point/action combination is unknown or whose
+        argument does not parse.
+    """
+
+    def __init__(self, spec: str | None) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._faults: dict[str, tuple[str, float]] = {}
+        for entry in (spec or "").split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            parts = entry.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"fault entry {entry!r} is not point:action[:arg]"
+                )
+            point, action = parts[0], parts[1]
+            if (point, action) not in _VALID:
+                valid = ", ".join(sorted(f"{p}:{a}" for p, a in _VALID))
+                raise ValueError(
+                    f"unknown fault {point}:{action} (valid: {valid})"
+                )
+            try:
+                arg = float(parts[2]) if len(parts) == 3 else 1.0
+            except ValueError:
+                raise ValueError(
+                    f"fault argument of {entry!r} must be a number"
+                ) from None
+            self._faults[point] = (action, arg)
+
+    def __bool__(self) -> bool:
+        """Whether any fault is armed."""
+        return bool(self._faults)
+
+    def fire(self, point: str, path: str | Path | None = None) -> None:
+        """Trigger the fault armed at *point*, if any.
+
+        Parameters
+        ----------
+        point : str
+            Injection-point name (``"serve.request"``, ...).
+        path : str or Path, optional
+            The file the ``store.load`` corruption actions mutate.
+        """
+        fault = self._faults.get(point)
+        if fault is None:
+            return
+        action, arg = fault
+        with self._lock:
+            self._counts[point] = count = self._counts.get(point, 0) + 1
+        if action == "crash":
+            if point == "worker.start" or count % max(int(arg), 1) == 0:
+                os._exit(1)
+        elif action == "slow":
+            time.sleep(arg)
+        elif action == "error":
+            if count <= int(arg):
+                raise OSError(f"injected accept error {count}/{int(arg)}")
+        elif action in ("truncate", "bitflip") and path is not None:
+            with self._lock:
+                armed = point in self._faults
+                self._faults.pop(point, None)  # one-shot
+            if armed:
+                _corrupt_file(Path(path), action)
+
+
+def _corrupt_file(path: Path, action: str) -> None:
+    """Truncate *path* to half or flip one mid-file byte, in place."""
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return
+    if not data:
+        return
+    if action == "truncate":
+        path.write_bytes(data[: len(data) // 2])
+    else:
+        mutated = bytearray(data)
+        mutated[len(mutated) // 2] ^= 0x01
+        path.write_bytes(bytes(mutated))
+
+
+_injector: FaultInjector | None = None
+_injector_lock = threading.Lock()
+
+
+def get_injector() -> FaultInjector:
+    """Return the process-wide injector (parsed once from the environment)."""
+    global _injector
+    if _injector is None:
+        with _injector_lock:
+            if _injector is None:
+                _injector = FaultInjector(os.environ.get(ENV_VAR))
+    return _injector
+
+
+def set_faults(spec: str | None) -> FaultInjector:
+    """Arm *spec* programmatically, replacing the current injector."""
+    global _injector
+    with _injector_lock:
+        _injector = FaultInjector(spec)
+    return _injector
+
+
+def clear_faults() -> None:
+    """Disarm everything (the next :func:`get_injector` re-reads the env)."""
+    global _injector
+    with _injector_lock:
+        _injector = FaultInjector(None)

@@ -1,0 +1,290 @@
+"""Chaos suite: the supervised multi-process daemon under injected faults.
+
+Every test forks a real ``repro serve --processes N`` supervisor as a
+subprocess and attacks it the way production would: workers crashing
+mid-request (``REPRO_FAULTS``), corrupted store replacements behind a
+SIGHUP, graceful SIGTERM drains with requests in flight, and crash
+loops.  All waits are bounded — the suite cannot hang, only fail.
+
+The determinism contract rides along: any ``--processes`` count must
+serve byte-identical responses.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.data.context import TransactionDatabase
+from repro.experiments.harness import (
+    build_rule_artifacts,
+    mine_itemsets,
+    save_artifacts,
+)
+from repro.testing import wait_until_healthy
+
+pytestmark = pytest.mark.chaos
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+FIG1 = [
+    ["a", "c", "d"],
+    ["b", "c", "e"],
+    ["a", "b", "c", "e"],
+    ["b", "e"],
+    ["a", "b", "c", "e"],
+]
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "fig1.npz"
+    db = TransactionDatabase(FIG1, name="fig1")
+    mining = mine_itemsets(db, minsup=0.4)
+    return save_artifacts(path, mining, build_rule_artifacts(mining, 0.7))
+
+
+def serve_env(**extra: str) -> dict[str, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    env.update(extra)
+    return env
+
+
+def spawn(store_path, processes, env, *args):
+    """Start a serve daemon subprocess; returns ``(proc, port)``."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--store", str(store_path), "--port", "0",
+            "--processes", str(processes), *args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://[^:]+:(\d+)", line)
+    if match is None:
+        proc.kill()
+        raise AssertionError(
+            f"no serving banner; got {line!r}, stderr: {proc.stderr.read()}"
+        )
+    port = int(match.group(1))
+    wait_until_healthy("127.0.0.1", port, timeout=60)
+    return proc, port
+
+
+def terminate(proc, timeout=30):
+    """SIGTERM the daemon and return its exit code (SIGKILL backstop)."""
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise
+
+
+def request(port, method, path, body=None, timeout=30):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, response.read()
+    finally:
+        connection.close()
+
+
+def request_with_retries(port, method, path, body=None, retries=8):
+    """Client-side retry loop mirroring docs/operations.md guidance."""
+    last = None
+    for attempt in range(retries + 1):
+        if attempt:
+            time.sleep(min(1.0, 0.05 * 2 ** (attempt - 1)))
+        try:
+            status, payload = request(port, method, path, body)
+        except (OSError, http.client.HTTPException) as exc:
+            last = exc
+            continue
+        if status == 503:
+            last = f"503: {payload[:120]!r}"
+            continue
+        return status, payload
+    raise AssertionError(f"retries exhausted for {method} {path}: {last}")
+
+
+class TestWorkerChurn:
+    def test_crashing_workers_restart_and_clients_survive(self, store_path):
+        """Workers crash every 15th request; retrying clients see no error."""
+        env = serve_env(
+            REPRO_FAULTS="serve.request:crash:15",
+            REPRO_SUPERVISOR_MAX_RESTARTS="1000",
+            REPRO_SUPERVISOR_BACKOFF_BASE="0.02",
+        )
+        proc, port = spawn(store_path, 2, env)
+        try:
+            for i in range(120):
+                status, _payload = request_with_retries(
+                    port, "GET", f"/bases/dg/rules?limit={1 + i % 5}"
+                )
+                assert status == 200
+            _status, payload = request_with_retries(port, "GET", "/metrics")
+            metrics = json.loads(payload)
+            assert metrics["worker_restarts_total"] > 0
+        finally:
+            assert terminate(proc) == 0
+
+    def test_worker_killed_externally_is_replaced(self, store_path):
+        env = serve_env(REPRO_SUPERVISOR_BACKOFF_BASE="0.02")
+        proc, port = spawn(store_path, 2, env)
+        try:
+            kids = [
+                int(pid)
+                for pid in subprocess.run(
+                    ["pgrep", "-P", str(proc.pid)],
+                    capture_output=True, text=True,
+                ).stdout.split()
+            ]
+            assert len(kids) == 2
+            os.kill(kids[0], signal.SIGKILL)
+            deadline = time.monotonic() + 30
+            restarts = 0
+            while time.monotonic() < deadline:
+                _status, payload = request_with_retries(
+                    port, "GET", "/metrics"
+                )
+                restarts = json.loads(payload)["worker_restarts_total"]
+                if restarts:
+                    break
+                time.sleep(0.1)
+            assert restarts == 1
+        finally:
+            assert terminate(proc) == 0
+
+
+class TestCrashLoop:
+    def test_boot_looping_worker_exits_nonzero(self, store_path, tmp_path):
+        env = serve_env(
+            REPRO_FAULTS="worker.start:crash",
+            REPRO_SUPERVISOR_MAX_RESTARTS="3",
+            REPRO_SUPERVISOR_BACKOFF_BASE="0.02",
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.experiments.cli", "serve",
+                "--store", str(store_path), "--port", "0", "--processes", "2",
+            ],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise
+        stderr = proc.stderr.read()
+        assert code == 3, stderr
+        assert "crash loop detected" in stderr
+        assert "recent exit" in stderr
+
+
+class TestReloadUnderCorruption:
+    def test_sighup_with_corrupt_store_keeps_old_generation(self, store_path):
+        # --no-watch so SIGHUP is the only reload trigger; otherwise the
+        # mtime watcher races it and generations differ per worker.
+        proc, port = spawn(store_path, 2, serve_env(), "--no-watch")
+        try:
+            good = store_path.read_bytes()
+            store_path.write_bytes(good[: len(good) // 2])
+            os.kill(proc.pid, signal.SIGHUP)
+
+            deadline = time.monotonic() + 30
+            failures = 0
+            while time.monotonic() < deadline and failures < 2:
+                failures = 0
+                for _ in range(8):  # hit both workers with high odds
+                    _s, payload = request_with_retries(port, "GET", "/metrics")
+                    metrics = json.loads(payload)
+                    assert metrics["generation"] == 1  # never a broken gen
+                    if metrics["integrity_failures"] >= 1:
+                        failures += 1
+                time.sleep(0.1)
+            assert failures >= 2  # every worker kept the old snapshot
+
+            # Repair + SIGHUP: both workers advance to generation 2.
+            store_path.write_bytes(good)
+            os.kill(proc.pid, signal.SIGHUP)
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                gens = set()
+                for _ in range(8):
+                    _s, payload = request_with_retries(port, "GET", "/healthz")
+                    gens.add(json.loads(payload)["generation"])
+                if gens == {2}:
+                    break
+                time.sleep(0.1)
+            assert gens == {2}
+        finally:
+            assert terminate(proc) == 0
+
+
+class TestGracefulDrain:
+    def test_sigterm_finishes_inflight_requests(self, store_path):
+        env = serve_env(REPRO_FAULTS="serve.request:slow:1.0")
+        proc, port = spawn(store_path, 2, env)
+        results = []
+
+        def slow_request():
+            results.append(request(port, "GET", "/bases/dg/rules"))
+
+        import threading
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.3)  # request is now inside the 1s-slow handler
+        assert terminate(proc) == 0
+        thread.join(timeout=30)
+        assert results and results[0][0] == 200
+
+
+class TestDeterminismAcrossProcessCounts:
+    PROBES = [
+        ("GET", "/bases", None),
+        ("GET", "/bases/dg/rules", None),
+        ("GET", "/bases/all/rules?min_confidence=0.75&limit=3&offset=1", None),
+        ("POST", "/derive", json.dumps(
+            {"antecedent": ["c"], "consequent": ["b", "e"]})),
+        ("POST", "/recommend", json.dumps({"basket": ["b", "c"], "k": 3})),
+    ]
+
+    def collect(self, store_path, processes):
+        proc, port = spawn(store_path, processes, serve_env())
+        try:
+            answers = []
+            for method, path, body in self.PROBES:
+                # Sample repeatedly so multiple workers answer.
+                seen = {
+                    request_with_retries(port, method, path, body)
+                    for _ in range(4 if processes > 1 else 1)
+                }
+                assert len(seen) == 1  # workers agree with each other
+                answers.append(seen.pop())
+            return answers
+        finally:
+            assert terminate(proc) == 0
+
+    def test_responses_byte_identical_1p_vs_3p(self, store_path):
+        assert self.collect(store_path, 1) == self.collect(store_path, 3)

@@ -1,0 +1,165 @@
+"""Request-robustness behavior of the serving app and HTTP transport.
+
+In-process (no forking): the per-request deadline, the bounded
+in-flight gate with its ``Retry-After`` hint, the observability bypass
+for ``/healthz``/``/metrics``, the transient-accept-error tolerance of
+the server loop, and the new ``/metrics`` counters.  The multi-process
+supervisor is exercised end-to-end in ``test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.data.context import TransactionDatabase
+from repro.experiments.harness import (
+    build_rule_artifacts,
+    mine_itemsets,
+    save_artifacts,
+)
+from repro.serve import ServeApp, serve_in_thread
+from repro.testing import clear_faults, set_faults, wait_until_healthy
+
+FIG1 = [
+    ["a", "c", "d"],
+    ["b", "c", "e"],
+    ["a", "b", "c", "e"],
+    ["b", "e"],
+    ["a", "b", "c", "e"],
+]
+
+
+@pytest.fixture(scope="module")
+def store_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("robust") / "fig1.npz"
+    db = TransactionDatabase(FIG1, name="fig1")
+    mining = mine_itemsets(db, minsup=0.4)
+    return save_artifacts(path, mining, build_rule_artifacts(mining, 0.7))
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    clear_faults()
+
+
+class TestDeadline:
+    def test_slow_request_exceeds_deadline(self, store_path):
+        app = ServeApp(store_path, watch=False, request_timeout=0.01)
+        set_faults("serve.request:slow:0.05")
+        status, payload = app.handle("GET", "/bases/dg/rules")
+        assert status == 503
+        assert payload["error"]["code"] == "deadline_exceeded"
+        status, metrics = app.handle("GET", "/metrics")
+        assert metrics["deadline_exceeded_total"] == 1
+
+    def test_healthz_bypasses_fault_seam_and_deadline(self, store_path):
+        app = ServeApp(store_path, watch=False, request_timeout=0.01)
+        set_faults("serve.request:slow:0.05")
+        status, payload = app.handle("GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+
+    def test_no_deadline_by_default(self, store_path):
+        app = ServeApp(store_path, watch=False)
+        set_faults("serve.request:slow:0.02")
+        status, _payload = app.handle("GET", "/bases/dg/rules")
+        assert status == 200
+
+    def test_fast_request_fits_deadline(self, store_path):
+        app = ServeApp(store_path, watch=False, request_timeout=30.0)
+        status, _payload = app.handle("GET", "/bases/dg/rules")
+        assert status == 200
+
+
+class TestInflightGate:
+    def test_overload_rejected_immediately(self, store_path):
+        app = ServeApp(store_path, watch=False, max_inflight=1)
+        assert app._inflight.acquire(blocking=False)  # occupy the slot
+        try:
+            status, payload = app.handle("GET", "/bases/dg/rules")
+            assert status == 503
+            assert payload["error"]["code"] == "overloaded"
+        finally:
+            app._inflight.release()
+        status, _payload = app.handle("GET", "/bases/dg/rules")
+        assert status == 200  # slot free again
+        status, metrics = app.handle("GET", "/metrics")
+        assert metrics["rejected_total"] == 1
+
+    def test_observability_bypasses_gate(self, store_path):
+        app = ServeApp(store_path, watch=False, max_inflight=1)
+        assert app._inflight.acquire(blocking=False)
+        try:
+            for path in ("/healthz", "/metrics"):
+                status, _payload = app.handle("GET", path)
+                assert status == 200
+        finally:
+            app._inflight.release()
+
+    def test_retry_after_header_on_the_wire(self, store_path):
+        app = ServeApp(store_path, watch=False, max_inflight=1)
+        server, _thread = serve_in_thread(app)
+        host, port = server.server_address[:2]
+        try:
+            wait_until_healthy(host, port)
+            assert app._inflight.acquire(blocking=False)
+            try:
+                connection = http.client.HTTPConnection(host, port, timeout=30)
+                connection.request("GET", "/bases/dg/rules")
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 503
+                assert response.getheader("Retry-After") == "1"
+                connection.close()
+            finally:
+                app._inflight.release()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestAcceptErrors:
+    def test_transient_accept_errors_do_not_kill_the_server(self, store_path):
+        set_faults("serve.accept:error:3")
+        app = ServeApp(store_path, watch=False)
+        server, _thread = serve_in_thread(app)
+        host, port = server.server_address[:2]
+        try:
+            # The injected OSErrors are swallowed by the accept loop;
+            # queued connections are served once the budget is spent.
+            payload = wait_until_healthy(host, port, timeout=30)
+            assert payload["status"] == "ok"
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            connection.request("GET", "/bases")
+            response = connection.getresponse()
+            assert response.status == 200
+            json.loads(response.read())
+            connection.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestMetricsSurface:
+    def test_new_counters_present_and_zero(self, store_path):
+        app = ServeApp(store_path, watch=False)
+        _status, metrics = app.handle("GET", "/metrics")
+        for key in (
+            "rejected_total",
+            "deadline_exceeded_total",
+            "integrity_failures",
+        ):
+            assert metrics[key] == 0
+
+    def test_extra_metrics_merged(self, store_path):
+        app = ServeApp(
+            store_path,
+            watch=False,
+            extra_metrics=lambda: {"worker": 7, "worker_restarts_total": 2},
+        )
+        _status, metrics = app.handle("GET", "/metrics")
+        assert metrics["worker"] == 7
+        assert metrics["worker_restarts_total"] == 2

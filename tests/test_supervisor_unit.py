@@ -1,0 +1,357 @@
+"""In-process unit tests for the supervisor's parent-side logic.
+
+The end-to-end behavior (real forked daemons, kernel load balancing,
+crash loops under fault injection) lives in ``tests/test_chaos.py``;
+this module exercises the supervisor's building blocks directly —
+shared counter, port reservation, reap/restart bookkeeping, crash-loop
+window, drain — with throwaway forked children where a real process is
+required.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.serve.supervisor import (
+    CRASH_LOOP_EXIT_CODE,
+    DEFAULT_MAX_RESTARTS,
+    SharedCounter,
+    Supervisor,
+    _env_float,
+    _request_parent_death_signal,
+)
+
+
+def fork_child(body) -> int:
+    """Fork a child that runs *body* and can never return into pytest."""
+    pid = os.fork()
+    if pid == 0:
+        code = 0
+        try:
+            result = body()
+            code = 0 if result is None else int(result)
+        except BaseException:
+            code = 1
+        finally:
+            os._exit(code)
+    return pid
+
+
+class TestEnvFloat:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        assert _env_float("REPRO_TEST_KNOB", 2.5) == 2.5
+
+    def test_parses_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "7.25")
+        assert _env_float("REPRO_TEST_KNOB", 2.5) == 7.25
+
+    def test_default_on_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "not-a-float")
+        assert _env_float("REPRO_TEST_KNOB", 2.5) == 2.5
+
+
+class TestSharedCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = SharedCounter()
+        assert counter.value == 0
+        assert counter.increment() == 1
+        assert counter.increment() == 2
+        assert counter.value == 2
+
+    def test_visible_across_fork(self):
+        # The worker-restart counter contract: the parent (single
+        # writer) increments after the fork and the child still sees it.
+        counter = SharedCounter()
+        read_fd, write_fd = os.pipe()
+
+        def child():
+            os.read(read_fd, 1)  # wait for the parent's increment
+            return 0 if counter.value == 1 else 1
+
+        pid = fork_child(child)
+        counter.increment()
+        os.write(write_fd, b"x")
+        _, status = os.waitpid(pid, 0)
+        os.close(read_fd)
+        os.close(write_fd)
+        assert os.waitstatus_to_exitcode(status) == 0
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGHUP"), reason="POSIX signals required"
+)
+class TestParentDeathSignal:
+    def test_sets_pdeathsig(self):
+        import ctypes
+
+        try:
+            libc = ctypes.CDLL("libc.so.6", use_errno=True)
+        except OSError:
+            pytest.skip("libc not loadable on this platform")
+        _request_parent_death_signal()
+        got = ctypes.c_int()
+        try:
+            assert libc.prctl(2, ctypes.byref(got)) == 0  # PR_GET_PDEATHSIG
+            assert got.value == signal.SIGTERM
+        finally:
+            libc.prctl(1, 0)  # clear it again: this is the test process
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_processes(self, tmp_path):
+        with pytest.raises(ValueError, match="processes"):
+            Supervisor(tmp_path / "run.npz", processes=0)
+
+    def test_env_knobs_feed_defaults(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_MAX_RESTARTS", "9")
+        monkeypatch.setenv("REPRO_SUPERVISOR_RESTART_WINDOW", "12.5")
+        monkeypatch.setenv("REPRO_SERVE_DRAIN_TIMEOUT", "1.5")
+        sup = Supervisor(tmp_path / "run.npz")
+        assert sup._max_restarts == 9
+        assert sup._restart_window == 12.5
+        assert sup._drain_timeout == 1.5
+
+    def test_explicit_arguments_beat_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SUPERVISOR_MAX_RESTARTS", "9")
+        sup = Supervisor(tmp_path / "run.npz", max_restarts=2)
+        assert sup._max_restarts == 2
+
+    def test_defaults_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SUPERVISOR_MAX_RESTARTS", raising=False)
+        sup = Supervisor(tmp_path / "run.npz")
+        assert sup._max_restarts == DEFAULT_MAX_RESTARTS
+        assert sup.port is None
+
+
+class TestBind:
+    def test_reserves_an_ephemeral_port(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz", port=0)
+        sup._bind()
+        try:
+            assert sup.port is not None and sup.port > 0
+            if sup._reuse_port:
+                # Reservation only: the parent socket must NOT listen,
+                # or the kernel would balance accepts onto a socket
+                # nobody ever accepts on.
+                accepting = sup._listener.getsockopt(
+                    socket.SOL_SOCKET, socket.SO_ACCEPTCONN
+                )
+                assert accepting == 0
+        finally:
+            sup._listener.close()
+
+    def test_shared_listener_fallback_listens(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz", port=0)
+        sup._reuse_port = False  # force the non-SO_REUSEPORT path
+        sup._bind()
+        try:
+            accepting = sup._listener.getsockopt(
+                socket.SOL_SOCKET, socket.SO_ACCEPTCONN
+            )
+            assert accepting == 1
+        finally:
+            sup._listener.close()
+
+
+class TestSignalsAndBanner:
+    def test_signal_flags(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz")
+        sup._on_stop_signal(signal.SIGTERM, None)
+        sup._on_hup_signal(signal.SIGHUP, None)
+        assert sup._stop and sup._hup
+
+    def test_announce_banner_shape(self, tmp_path, capsys):
+        # serve_smoke / the chaos helpers parse this banner; pin it.
+        sup = Supervisor(tmp_path / "run.npz", processes=3)
+        sup._app = SimpleNamespace(loaded=SimpleNamespace(name="fig1"))
+        sup._port = 4242
+        sup._announce()
+        out = capsys.readouterr().out
+        assert "serving fig1" in out
+        assert "http://127.0.0.1:4242" in out
+        assert "3 worker processes" in out
+
+    def test_signal_workers_ignores_dead_pids(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz")
+        dead = fork_child(lambda: 0)
+        os.waitpid(dead, 0)  # fully reaped: the pid no longer exists
+        sup._workers = {dead: 0, os.getpid(): 1}
+        sup._signal_workers(0)  # must not raise on the dead pid
+
+
+class TestBackoff:
+    def test_backoff_is_bounded_and_jittered(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz")
+        sup._backoff_base = 0.01
+        start = time.monotonic()
+        sup._backoff(1)
+        elapsed = time.monotonic() - start
+        assert elapsed < 0.5
+
+    def test_backoff_aborts_on_stop(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz")
+        sup._backoff_base = 30.0  # would sleep ~30s if not interrupted
+        sup._stop = True
+        start = time.monotonic()
+        sup._backoff(1)
+        assert time.monotonic() - start < 0.5
+
+
+class TestReap:
+    def test_restart_until_crash_loop(self, tmp_path, capsys, monkeypatch):
+        sup = Supervisor(
+            tmp_path / "run.npz", processes=1, max_restarts=2,
+            restart_window=30.0, health_interval=0,
+        )
+        sup._backoff_base = 0.001
+
+        def crashing_spawn(index):
+            return fork_child(lambda: 1)  # every worker dies instantly
+
+        monkeypatch.setattr(sup, "_spawn", crashing_spawn)
+        sup._workers[crashing_spawn(0)] = 0
+        deadline = time.monotonic() + 10.0
+        alive = True
+        while alive and time.monotonic() < deadline:
+            alive = sup._reap()
+            time.sleep(0.005)
+        assert alive is False, "crash loop never detected"
+        # 3 exits in the window: two restarts granted, the third trips.
+        assert len(sup._restart_times) == sup._max_restarts + 1
+        assert sup._counter.value == sup._max_restarts
+        assert any("exited with code 1" in line for line in sup._recent_exits)
+        assert "restart 1/2 in window" in capsys.readouterr().err
+
+    def test_reap_records_signal_exits(self, tmp_path, capsys):
+        sup = Supervisor(tmp_path / "run.npz", max_restarts=0)
+
+        def hang():
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            while True:  # killed from outside; never exits on its own
+                time.sleep(0.5)
+
+        pid = fork_child(hang)
+        sup._workers = {pid: 0}
+        os.kill(pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        alive = True
+        while alive and time.monotonic() < deadline:
+            alive = sup._reap()
+            time.sleep(0.005)
+        assert alive is False  # max_restarts=0: first exit is the loop
+        assert any("signal 9" in line for line in sup._recent_exits)
+
+    def test_reap_with_no_children(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz")
+        assert sup._reap() is True  # ChildProcessError path
+
+
+class TestShutdown:
+    def test_graceful_drain_reaps_workers(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz", drain_timeout=5.0)
+
+        def worker():
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            while True:
+                time.sleep(0.5)
+
+        pid = fork_child(worker)
+        sup._workers = {pid: 0}
+        sup._shutdown()
+        assert not sup._workers
+
+    def test_stragglers_are_killed_hard(self, tmp_path, capsys):
+        sup = Supervisor(tmp_path / "run.npz", drain_timeout=0.2)
+        read_fd, write_fd = os.pipe()
+
+        def stubborn():
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            os.write(write_fd, b"x")  # SIGTERM is ignored from here on
+            while True:
+                time.sleep(0.5)
+
+        pid = fork_child(stubborn)
+        os.read(read_fd, 1)
+        os.close(read_fd)
+        os.close(write_fd)
+        sup._workers = {pid: 0}
+        sup._shutdown()
+        assert not sup._workers
+        assert "killing hard" in capsys.readouterr().err
+
+
+class TestSuperviseLoop:
+    def test_stop_flag_exits_zero(self, tmp_path):
+        sup = Supervisor(tmp_path / "run.npz", health_interval=0)
+        sup._stop = True
+        assert sup._supervise() == 0
+
+    def test_crash_loop_exit_code_and_diagnostics(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        sup = Supervisor(tmp_path / "run.npz", health_interval=0)
+        monkeypatch.setattr(sup, "_reap", lambda: False)
+        sup._recent_exits = ["worker 0 (pid 1) exited with code 1"]
+        assert sup._supervise() == CRASH_LOOP_EXIT_CODE
+        err = capsys.readouterr().err
+        assert "crash loop detected" in err
+        assert "recent exit: worker 0" in err
+
+    def test_hup_fans_out_then_stops(self, tmp_path, capsys, monkeypatch):
+        sup = Supervisor(tmp_path / "run.npz", health_interval=0)
+        sup._hup = True
+        ticks = []
+
+        def reap_twice():
+            ticks.append(1)
+            if len(ticks) >= 2:
+                sup._stop = True
+            return True
+
+        monkeypatch.setattr(sup, "_reap", reap_twice)
+        assert sup._supervise() == 0
+        assert "SIGHUP fanned out" in capsys.readouterr().err
+
+
+class TestHealthProbe:
+    def test_probe_failure_is_logged_not_fatal(self, tmp_path, capsys):
+        sup = Supervisor(tmp_path / "run.npz")
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        sup._port = probe.getsockname()[1]
+        probe.close()  # nothing listens there anymore
+        sup._probe_health()
+        assert "health probe failed" in capsys.readouterr().err
+
+    def test_probe_logs_non_200_answers(self, tmp_path, capsys):
+        sup = Supervisor(tmp_path / "run.npz")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        sup._port = listener.getsockname()[1]
+
+        def answer_500():
+            conn, _ = listener.accept()
+            conn.recv(1024)
+            conn.sendall(
+                b"HTTP/1.1 500 Internal Server Error\r\n"
+                b"Content-Length: 0\r\nConnection: close\r\n\r\n"
+            )
+            conn.close()
+
+        server = threading.Thread(target=answer_500, daemon=True)
+        server.start()
+        try:
+            sup._probe_health()
+        finally:
+            server.join(timeout=5)
+            listener.close()
+        assert "health probe answered HTTP 500" in capsys.readouterr().err
