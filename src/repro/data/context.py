@@ -99,8 +99,10 @@ class TransactionDatabase:
 
         items: list = []
         if item_order is not None:
+            ordered_seen: set = set()
             for item in item_order:
-                if item not in items:
+                if item not in ordered_seen:
+                    ordered_seen.add(item)
                     items.append(item)
         remaining = seen.difference(items)
         try:
@@ -136,6 +138,93 @@ class TransactionDatabase:
 
         self._default_engine: str = resolve_engine_name(engine)
         self._engines: dict[str, "ClosureEngine"] = {}
+
+    # ------------------------------------------------------------------
+    # Incremental extension
+    # ------------------------------------------------------------------
+    def extended(
+        self,
+        batch: Iterable[Iterable[Item]],
+        object_ids: Sequence[Any] | None = None,
+        name: str | None = None,
+    ) -> "TransactionDatabase":
+        """Return a new context with the *batch* transactions appended.
+
+        The result shares this context's relation as its row prefix: the
+        old items keep their column positions (items new to the universe
+        are appended after them in canonical sorted order) and the old
+        objects keep their row positions, so every packed per-item cover
+        of the old context is a bit-prefix of the extended one.  Engines
+        already instantiated on this context are carried over through
+        :meth:`~repro.engine.ClosureEngine.extended`, which splices the
+        appended rows into the warm packed views instead of rebuilding
+        them.  This context itself is never mutated.
+
+        Note the column-order difference from re-parsing: a context built
+        fresh from the concatenated transactions sorts its whole universe,
+        while an extended context keeps old-items-first.  Mined artifacts
+        (families, generators, order core, bases) are independent of the
+        column order, so oracle comparisons against a fresh mine still
+        hold; only raw matrix layouts differ.
+
+        Parameters
+        ----------
+        batch:
+            Iterable of transactions to append; each is an iterable of
+            items.  May be empty (the result is then an identical copy
+            sharing this context's arrays).
+        object_ids:
+            Optional identifiers for the appended objects; defaults to
+            ``n_objects .. n_objects + len(batch) - 1``.
+        name:
+            Name of the extended context; defaults to this context's name.
+        """
+        rows = [frozenset(t) for t in batch]
+        new_items: set = set()
+        for row in rows:
+            new_items.update(row)
+        new_items.difference_update(self._items)
+        try:
+            appended_items = sorted(new_items)
+        except TypeError:
+            appended_items = sorted(new_items, key=repr)
+
+        clone = TransactionDatabase.__new__(TransactionDatabase)
+        clone._name = name or self._name
+        clone._items = self._items + tuple(appended_items)
+        clone._item_index = {item: i for i, item in enumerate(clone._items)}
+
+        if object_ids is not None:
+            object_ids = list(object_ids)
+            if len(object_ids) != len(rows):
+                raise InvalidParameterError(
+                    f"got {len(object_ids)} object ids for {len(rows)} "
+                    "appended transactions"
+                )
+            clone._object_ids = self._object_ids + tuple(object_ids)
+        else:
+            clone._object_ids = self._object_ids + tuple(
+                range(self.n_objects, self.n_objects + len(rows))
+            )
+
+        n_old, m_old = self._matrix.shape
+        matrix = np.zeros((n_old + len(rows), len(clone._items)), dtype=bool)
+        matrix[:n_old, :m_old] = self._matrix
+        for r, row in enumerate(rows):
+            for item in row:
+                matrix[n_old + r, clone._item_index[item]] = True
+        matrix.setflags(write=False)
+        clone._matrix = matrix
+
+        clone._row_itemsets = self._row_itemsets + tuple(
+            Itemset(row) for row in rows
+        )
+        clone._default_engine = self._default_engine
+        clone._engines = {
+            backend: engine.extended(clone)
+            for backend, engine in self._engines.items()
+        }
+        return clone
 
     # ------------------------------------------------------------------
     # Alternative constructors

@@ -187,22 +187,27 @@ def save_tabular_file(
     """Write a database of ``attribute=value`` items back to delimited text.
 
     Every item must be of the form ``attribute=value``; attributes become
-    columns (ordered by first appearance), objects become lines, and
-    objects lacking a value for some attribute get ``"?"`` in that column.
+    columns (ordered by first appearance in the item universe, which is a
+    deterministic column order — transactions themselves are sets, so
+    iterating them would reorder columns across runs), objects become
+    lines, and objects lacking a value for some attribute get ``"?"`` in
+    that column.
     """
     attributes: list[str] = []
+    seen_attributes: set[str] = set()
+    for item in database.items:
+        text = str(item)
+        if "=" not in text:
+            raise DatasetFormatError(f"item {text!r} is not of the form attribute=value")
+        attribute = text.split("=", 1)[0]
+        if attribute not in seen_attributes:
+            seen_attributes.add(attribute)
+            attributes.append(attribute)
     rows: list[dict[str, str]] = []
     for transaction in database:
         row: dict[str, str] = {}
         for item in transaction:
-            text = str(item)
-            if "=" not in text:
-                raise DatasetFormatError(
-                    f"item {text!r} is not of the form attribute=value"
-                )
-            attribute, value = text.split("=", 1)
-            if attribute not in attributes:
-                attributes.append(attribute)
+            attribute, value = str(item).split("=", 1)
             row[attribute] = value
         rows.append(row)
     path = Path(path)

@@ -31,7 +31,14 @@ def sample_objects(
     if n_objects <= 0:
         raise InvalidParameterError("n_objects must be positive")
     if n_objects >= database.n_objects:
-        return database
+        if name is None or name == database.name:
+            return database
+        return TransactionDatabase(
+            (row.as_frozenset() for row in database),
+            item_order=database.items,
+            object_ids=database.object_ids,
+            name=name,
+        )
     rng = np.random.default_rng(seed)
     chosen = np.sort(rng.choice(database.n_objects, size=n_objects, replace=False))
     transactions = [database.transaction(int(i)).as_frozenset() for i in chosen]
@@ -47,12 +54,25 @@ def sample_objects(
 def split_objects(
     database: TransactionDatabase, fraction: float, seed: int = 0
 ) -> tuple[TransactionDatabase, TransactionDatabase]:
-    """Split the objects into two disjoint databases (``fraction``, ``1 - fraction``)."""
+    """Split the objects into two disjoint databases (``fraction``, ``1 - fraction``).
+
+    Raises
+    ------
+    InvalidParameterError
+        When the database is too small for both sides to be non-empty
+        (the rounded cut would leave one side with zero objects, e.g.
+        ``n=1`` at any fraction, or ``n=2`` at ``fraction=0.1``).
+    """
     if not 0.0 < fraction < 1.0:
         raise InvalidParameterError("fraction must lie strictly between 0 and 1")
     rng = np.random.default_rng(seed)
     permutation = rng.permutation(database.n_objects)
     cut = int(round(fraction * database.n_objects))
+    if cut == 0 or cut == database.n_objects:
+        raise InvalidParameterError(
+            f"cannot split {database.n_objects} objects at fraction {fraction}: "
+            "one side would be empty"
+        )
     first_rows = np.sort(permutation[:cut])
     second_rows = np.sort(permutation[cut:])
 

@@ -136,6 +136,22 @@ class ClosureEngine(ABC):
                 self._cache.popitem(last=False)
 
     # ------------------------------------------------------------------
+    # Incremental extension
+    # ------------------------------------------------------------------
+    def extended(self, database: "TransactionDatabase") -> "ClosureEngine":
+        """Return an engine of this backend for an *extended* database.
+
+        ``TransactionDatabase.extended`` calls this on every instantiated
+        engine so warm derived views carry over to the appended context.
+        The base implementation simply builds a fresh engine (always
+        correct); backends override it to splice the appended rows into
+        their packed views instead of re-deriving the shared prefix.
+        The closure cache never carries over — appended objects change
+        closures and supports, so cached pairs would be stale.
+        """
+        return type(self)(database, cache_size=self._cache_size)
+
+    # ------------------------------------------------------------------
     # Candidate canonicalisation
     # ------------------------------------------------------------------
     def _coerce_all(

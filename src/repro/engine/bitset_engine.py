@@ -53,6 +53,44 @@ class BitsetClosureEngine(ClosureEngine):
         self._all_objects_bits = (1 << n_objects) - 1 if n_objects else 0
         self._universe_bits = (1 << len(self._items)) - 1 if self._items else 0
 
+    def extended(self, database: "TransactionDatabase") -> "BitsetClosureEngine":
+        """Warm-start an engine for *database*, an appended extension.
+
+        Vertical views that were already materialised carry over: each
+        old item's tidset gains the appended objects' bits (shifted past
+        the old object count), old row bitsets are value-identical (new
+        items occupy higher bit positions), and only the appended rows
+        are packed fresh.  Views still lazy stay lazy.
+        """
+        clone = object.__new__(BitsetClosureEngine)
+        ClosureEngine.__init__(clone, database, cache_size=self._cache_size)
+        n_objects = database.n_objects
+        n_old = self._db.n_objects
+        if n_objects < n_old:
+            raise ValueError(
+                f"extended database has {n_objects} objects, fewer than the "
+                f"{n_old} of the base context"
+            )
+        clone._all_objects_bits = (1 << n_objects) - 1 if n_objects else 0
+        clone._universe_bits = (1 << len(clone._items)) - 1 if clone._items else 0
+        matrix = database.matrix
+        if self._item_bits is None:
+            clone._item_bits = None
+        else:
+            old_bits = self._item_bits
+            clone._item_bits = tuple(
+                (old_bits[c] if c < len(old_bits) else 0)
+                | (bits_from_bool_array(matrix[n_old:, c]) << n_old)
+                for c in range(matrix.shape[1])
+            )
+        if self._row_bits is None:
+            clone._row_bits = None
+        else:
+            clone._row_bits = self._row_bits + tuple(
+                bits_from_bool_array(matrix[r]) for r in range(n_old, n_objects)
+            )
+        return clone
+
     # ------------------------------------------------------------------
     # The vertical views (lazy)
     # ------------------------------------------------------------------

@@ -98,6 +98,54 @@ class NumpyClosureEngine(ClosureEngine):
             self._not_m_cache = (~self._matrix).astype(np.float32)
         return self._not_m_cache
 
+    def extended(self, database: "TransactionDatabase") -> "NumpyClosureEngine":
+        """Warm-start an engine for *database*, an appended extension.
+
+        The packed per-item cover words of the shared object prefix are
+        copied over verbatim; only the appended rows are packed (shifted
+        to the old context's bit offset and OR-ed into the tail words).
+        ``database`` must hold this engine's objects as its row prefix —
+        exactly what :meth:`TransactionDatabase.extended` constructs.
+        """
+        clone = object.__new__(NumpyClosureEngine)
+        ClosureEngine.__init__(clone, database, cache_size=self._cache_size)
+        clone._workers = self._workers
+        matrix = database.matrix
+        clone._matrix = matrix
+        clone._not_m_cache = None
+        n_objects, n_items = matrix.shape
+        n_old = self._n_objects
+        if n_objects < n_old:
+            raise ValueError(
+                f"extended database has {n_objects} objects, fewer than the "
+                f"{n_old} of the base context"
+            )
+        clone._n_objects = n_objects
+        n_words = max(1, -(-n_objects // 64))
+        item_words = np.zeros((n_items, n_words), dtype=np.uint64)
+        item_words[: self._item_words.shape[0], : self._n_words] = self._item_words
+        appended = n_objects - n_old
+        if appended:
+            # Pack the appended rows alone, pre-shifted by the bit offset
+            # of the first appended object inside its word.
+            offset = n_old % 64
+            padded = np.zeros((n_items, offset + appended), dtype=bool)
+            padded[:, offset:] = matrix[n_old:].T
+            packed8 = np.packbits(padded, axis=1, bitorder="little")
+            pad = (-packed8.shape[1]) % 8
+            if pad:
+                packed8 = np.pad(packed8, ((0, 0), (0, pad)))
+            tail = np.ascontiguousarray(packed8).view(np.uint64)
+            start = n_old // 64
+            # The old words' bits past n_old are zero, so OR is exact.
+            item_words[:, start : start + tail.shape[1]] |= tail
+        clone._item_words = item_words
+        full = np.zeros(n_words * 64, dtype=np.uint8)
+        full[:n_objects] = 1
+        clone._full_words = np.packbits(full, bitorder="little").view(np.uint64)
+        clone._n_words = n_words
+        return clone
+
     # ------------------------------------------------------------------
     # Batched cover computation (packed)
     # ------------------------------------------------------------------

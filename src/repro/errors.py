@@ -73,6 +73,18 @@ class StoreIntegrityError(StoreFormatError):
     """
 
 
+class OracleMismatchError(ReproError, RuntimeError):
+    """An incrementally repaired artifact disagrees with a fresh mine.
+
+    Raised by :mod:`repro.incremental` when its delta-maintained
+    families, generators or lattice fail the oracle comparison against a
+    from-scratch mining run (``verify="oracle"``), or when an always-on
+    internal consistency check (delta-counted support vs engine-counted
+    support) trips.  Like :class:`DerivationError` this signals a bug in
+    the maintenance algebra, not a user error.
+    """
+
+
 class MissingDependencyError(ReproError, ImportError):
     """An optional dependency needed for the requested feature is absent.
 

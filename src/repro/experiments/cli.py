@@ -278,6 +278,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load.add_argument("store", help="path of a `repro save` .npz container")
 
+    update = _add_command(
+        subparsers,
+        "update",
+        help_text="append a transaction batch to a store and repair the "
+        "mined artifacts incrementally",
+        description="Extend a stored context with a basket-file batch and "
+        "delta-maintain the mined artifacts: only itemsets contained in a "
+        "changed row are re-evaluated, the lattice order core is repaired "
+        "edge-locally, the stored bases are rebuilt and the store is "
+        "rewritten atomically (a serving daemon watching the file "
+        "hot-reloads the repaired generation). Past --damage-threshold the "
+        "update falls back to a full re-mine.",
+        example="repro update --store run.npz --append batch.basket",
+    )
+    update.add_argument(
+        "--store", required=True, help="path of a `repro save` .npz container"
+    )
+    update.add_argument(
+        "--append",
+        required=True,
+        metavar="PATH",
+        help="basket-format file with the transactions to append",
+    )
+    update.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sliding-window capacity: evict the oldest objects so at most "
+        "N remain after the append (default: keep every object)",
+    )
+    update.add_argument(
+        "--damage-threshold",
+        type=float,
+        default=0.5,
+        metavar="R",
+        help="fall back to a full re-mine when more than this fraction of "
+        "the stored closed itemsets is damaged (default: 0.5)",
+    )
+    update.add_argument(
+        "--verify",
+        choices=["off", "oracle"],
+        default="off",
+        help="oracle re-mines the extended context and asserts the repaired "
+        "artifacts match it exactly (slow; default: off)",
+    )
+    update.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default=None,
+        help="closure engine backend (default: per-miner default)",
+    )
+    update.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the packed kernels (0 = all cores; "
+        "default: the REPRO_NUM_WORKERS environment variable, else serial)",
+    )
+
     export = _add_command(
         subparsers,
         "export",
@@ -625,6 +686,43 @@ def _command_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    from ..incremental.store import update_store
+
+    batch_db = load_basket_file(args.append)
+    batch = [row.as_frozenset() for row in batch_db.transactions()]
+    path, result = update_store(
+        args.store,
+        batch,
+        window=args.window,
+        damage_threshold=args.damage_threshold,
+        verify=args.verify,
+        engine=args.engine,
+        workers=args.workers,
+    )
+    stats = result.statistics
+    print(
+        f"updated {path}: +{stats.n_appended} objects"
+        + (f", -{stats.n_removed} evicted" if stats.n_removed else "")
+        + f" ({stats.mode})"
+    )
+    if stats.mode == "incremental":
+        print(
+            f"  damaged {stats.damaged_closed}/{stats.old_closed} closed "
+            f"itemsets (ratio {stats.damage_ratio:.2f}), "
+            f"{stats.reclosed} closures recomputed"
+        )
+    elif stats.fallback_reason:
+        print(f"  full re-mine: {stats.fallback_reason}")
+    print(
+        f"  frequent itemsets: +{stats.new_frequent} new, "
+        f"-{stats.dropped_frequent} dropped; "
+        f"now {len(result.mining.frequent)} frequent, "
+        f"{len(result.mining.closed)} closed"
+    )
+    return 0
+
+
 def _command_export(args: argparse.Namespace) -> int:
     from .. import store
 
@@ -817,6 +915,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _command_experiment,
         "save": _command_save,
         "load": _command_load,
+        "update": _command_update,
         "export": _command_export,
         "serve": _command_serve,
         "recommend": _command_recommend,

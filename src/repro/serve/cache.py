@@ -21,7 +21,7 @@ __all__ = ["LRUCache"]
 
 
 class LRUCache:
-    """A bounded least-recently-used mapping with hit/miss accounting.
+    """A bounded least-recently-used mapping with hit/miss/eviction accounting.
 
     Parameters
     ----------
@@ -47,6 +47,7 @@ class LRUCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     @property
     def capacity(self) -> int:
@@ -99,6 +100,7 @@ class LRUCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self._capacity:
                 self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are kept)."""
@@ -111,13 +113,14 @@ class LRUCache:
         Returns
         -------
         dict[str, int]
-            ``hits``, ``misses``, ``size`` (current entries) and
-            ``capacity``.
+            ``hits``, ``misses``, ``evictions`` (entries dropped to make
+            room), ``size`` (current entries) and ``capacity``.
         """
         with self._lock:
             return {
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
                 "size": len(self._entries),
                 "capacity": self._capacity,
             }

@@ -104,6 +104,29 @@ class TestTabularFormat:
         save_tabular_file(db, path)
         assert path.read_text().splitlines()[1] == "3,?"
 
+    def test_save_column_order_follows_item_universe(self, tmp_path):
+        # transactions are sets, so only the item universe can anchor a
+        # deterministic column order
+        db = TransactionDatabase(
+            [["b=2", "a=1", "c=3"], ["c=6", "a=4"]],
+            item_order=["a=1", "a=4", "b=2", "c=3", "c=6"],
+        )
+        path = tmp_path / "ordered.csv"
+        save_tabular_file(db, path)
+        assert path.read_text().splitlines() == ["1,2,3", "4,?,6"]
+
+    def test_save_load_save_is_byte_stable(self, tmp_path):
+        db = TransactionDatabase(
+            [["colour=red", "shape=round"], ["shape=long"], ["colour=green"]],
+            name="veg",
+        )
+        first = tmp_path / "first.csv"
+        save_tabular_file(db, first)
+        reloaded = load_tabular_file(first, attribute_names=["colour", "shape"])
+        second = tmp_path / "second.csv"
+        save_tabular_file(reloaded, second)
+        assert first.read_bytes() == second.read_bytes()
+
 
 class TestStoreFormat:
     def test_round_trip_preserves_item_order_and_name(self, tmp_path, toy_db):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.data.context import TransactionDatabase
 from repro.data.sampling import bootstrap_objects, sample_objects, split_objects
 from repro.errors import InvalidParameterError
 
@@ -32,6 +33,17 @@ class TestSampleObjects:
         with pytest.raises(InvalidParameterError):
             sample_objects(toy_db, 0)
 
+    def test_oversized_sample_with_new_name_is_renamed(self, toy_db):
+        renamed = sample_objects(toy_db, toy_db.n_objects + 5, name="alias")
+        assert renamed is not toy_db
+        assert renamed.name == "alias"
+        assert renamed.transactions() == toy_db.transactions()
+        assert renamed.items == toy_db.items
+        assert renamed.object_ids == toy_db.object_ids
+
+    def test_oversized_sample_with_same_name_is_identity(self, toy_db):
+        assert sample_objects(toy_db, 99, name=toy_db.name) is toy_db
+
 
 class TestSplitObjects:
     def test_split_sizes_and_disjointness(self, dense_smoke_db):
@@ -50,6 +62,17 @@ class TestSplitObjects:
             split_objects(toy_db, 0.0)
         with pytest.raises(InvalidParameterError):
             split_objects(toy_db, 1.0)
+
+    def test_empty_side_raises_instead_of_returning_empty_database(self):
+        lonely = TransactionDatabase([["a", "b"]])
+        with pytest.raises(InvalidParameterError, match="one side would be empty"):
+            split_objects(lonely, 0.5)
+        pair = TransactionDatabase([["a"], ["b"]])
+        with pytest.raises(InvalidParameterError, match="one side would be empty"):
+            split_objects(pair, 0.1)
+        # the smallest splittable case still works
+        first, second = split_objects(pair, 0.5, seed=0)
+        assert first.n_objects == 1 and second.n_objects == 1
 
 
 class TestBootstrap:

@@ -95,7 +95,7 @@ class TestLRUCache:
         cache.put("a", 1)
         assert cache.get("a") == (True, 1)
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "size": 1, "capacity": 4,
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1, "capacity": 4,
         }
 
     def test_eviction_is_least_recently_used(self):
@@ -107,6 +107,30 @@ class TestLRUCache:
         assert cache.get("b") == (False, None)
         assert cache.get("a") == (True, 1)
         assert cache.get("c") == (True, 3)
+        assert cache.stats()["evictions"] == 1
+
+    def test_eviction_counter_accumulates(self):
+        cache = LRUCache(2)
+        for key in range(6):
+            cache.put(key, key)
+        assert cache.stats()["evictions"] == 4
+        assert len(cache) == 2
+        # overwriting a resident key is not an eviction
+        cache.put(5, -5)
+        assert cache.stats()["evictions"] == 4
+        # clear() drops entries but keeps the lifetime counters
+        cache.clear()
+        assert cache.stats()["evictions"] == 4
+
+    def test_evictions_surface_in_metrics(self, store_path):
+        app = ServeApp(store_path, cache_size=1, watch=False)
+        name = next(iter(app.loaded.bases))
+        app.handle("GET", f"/bases/{name}/rules")
+        app.handle("GET", f"/bases/{name}/rules", {"limit": "1"})
+        app.handle("GET", f"/bases/{name}/rules", {"limit": "2"})
+        _, metrics = app.handle("GET", "/metrics")
+        assert metrics["cache"]["evictions"] == 2
+        assert metrics["cache"]["capacity"] == 1
 
     def test_zero_capacity_disables_storage(self):
         cache = LRUCache(0)
@@ -523,7 +547,8 @@ class TestMetricsAndCache:
         assert route["errors"] == 0
         assert route["latency_seconds_max"] >= route["latency_seconds_mean"]
         assert metrics["cache"] == {
-            "hits": 2, "misses": 1, "size": 1, "capacity": 1024,
+            "hits": 2, "misses": 1, "evictions": 0, "size": 1,
+            "capacity": 1024,
         }
 
     def test_errors_are_counted(self, store_path):
